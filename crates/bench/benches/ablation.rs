@@ -1,0 +1,98 @@
+//! E10 benches: ablations — TM vs LevelledContraction, reduction vs
+//! EDF-truncate, density vs value greedy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pobp_bench::{lax_workload, mixed_workload};
+use pobp_forest::{levelled_contraction, tm};
+use pobp_instances::random_forest;
+use pobp_sched::{
+    edf_truncate, greedy_nonpreemptive_by_value, greedy_unbounded, lawler_moore, lsa,
+    moore_hodgson, opt_nonpreemptive, reduce_to_k_bounded,
+};
+use std::hint::black_box;
+
+fn bench_tm_vs_lc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/kbas-solvers");
+    g.sample_size(15);
+    let f = random_forest(50_000, 0.05, 33);
+    g.bench_function("tm", |b| b.iter(|| tm(black_box(&f), 2).value));
+    g.bench_function("levelled-contraction", |b| {
+        b.iter(|| levelled_contraction(black_box(&f), 2).value())
+    });
+    g.finish();
+}
+
+fn bench_reduction_vs_truncate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/k-bounding");
+    g.sample_size(15);
+    let (jobs, ids) = mixed_workload(400, 9);
+    let inf = greedy_unbounded(&jobs, &ids).schedule;
+    g.bench_function("reduction", |b| {
+        b.iter(|| {
+            reduce_to_k_bounded(black_box(&jobs), &inf, 2)
+                .unwrap()
+                .schedule
+                .value(&jobs)
+        })
+    });
+    g.bench_function("edf-truncate", |b| {
+        b.iter(|| edf_truncate(black_box(&jobs), &ids, 2).value(&jobs))
+    });
+    g.finish();
+}
+
+fn bench_sort_keys(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/greedy-sort-key");
+    g.sample_size(15);
+    {
+        let &n = &500usize;
+        let (jobs, ids) = lax_workload(n, 1, 64, 17);
+        g.bench_with_input(BenchmarkId::new("density-lsa", n), &(jobs.clone(), ids.clone()),
+            |b, (jobs, ids)| b.iter(|| lsa(black_box(jobs), ids, 1).accepted.len()));
+        g.bench_with_input(BenchmarkId::new("value-greedy", n), &(jobs, ids),
+            |b, (jobs, ids)| b.iter(|| greedy_nonpreemptive_by_value(black_box(jobs), ids).len()));
+    }
+    g.finish();
+}
+
+fn bench_classical(c: &mut Criterion) {
+    // Common-release instances for the cited classical baselines.
+    let mut g = c.benchmark_group("ablation/classical-common-release");
+    g.sample_size(20);
+    for &n in &[12usize, 200] {
+        let jobs: pobp_core::JobSet = (0..n)
+            .map(|i| {
+                let p = 1 + (i as i64 * 7 + 3) % 12;
+                pobp_core::Job::new(0, p + (i as i64 * 13) % 80, p, 1.0 + (i % 9) as f64)
+            })
+            .collect();
+        let ids: Vec<pobp_core::JobId> = jobs.ids().collect();
+        g.bench_with_input(
+            BenchmarkId::new("moore-hodgson", n),
+            &(jobs.clone(), ids.clone()),
+            |b, (jobs, ids)| b.iter(|| moore_hodgson(black_box(jobs), ids).0.len()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("lawler-moore", n),
+            &(jobs.clone(), ids.clone()),
+            |b, (jobs, ids)| b.iter(|| lawler_moore(black_box(jobs), ids).2),
+        );
+        if n <= 12 {
+            g.bench_with_input(
+                BenchmarkId::new("exact-dp", n),
+                &(jobs, ids),
+                |b, (jobs, ids)| b.iter(|| opt_nonpreemptive(black_box(jobs), ids).value),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tm_vs_lc,
+    bench_reduction_vs_truncate,
+    bench_sort_keys,
+    bench_classical
+);
+criterion_main!(benches);

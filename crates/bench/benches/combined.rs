@@ -1,0 +1,47 @@
+//! E7 benches: Algorithm 3 end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pobp_bench::mixed_workload;
+use pobp_sched::{combined_from_scratch, greedy_unbounded, k_preemption_combined};
+use std::hint::black_box;
+
+fn bench_combined_given_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combined/given-inf-schedule");
+    g.sample_size(20);
+    for &n in &[100usize, 400] {
+        let (jobs, ids) = mixed_workload(n, 5);
+        let inf = greedy_unbounded(&jobs, &ids).schedule;
+        g.throughput(Throughput::Elements(n as u64));
+        for &k in &[1u32, 3] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &(jobs.clone(), ids.clone(), inf.clone()),
+                |b, (jobs, ids, inf)| {
+                    b.iter(|| {
+                        k_preemption_combined(black_box(jobs), ids, inf, k)
+                            .unwrap()
+                            .chosen
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_combined_from_scratch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combined/from-scratch");
+    g.sample_size(10);
+    for &n in &[100usize, 300] {
+        let (jobs, ids) = mixed_workload(n, 5);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(jobs, ids), |b, (jobs, ids)| {
+            b.iter(|| combined_from_scratch(black_box(jobs), ids, 2).chosen.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_combined_given_schedule, bench_combined_from_scratch);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 benches: the k = 0 algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pobp_bench::mixed_workload;
+use pobp_core::JobId;
+use pobp_instances::Fig2Instance;
+use pobp_sched::{opt_nonpreemptive, schedule_k0};
+use std::hint::black_box;
+
+fn bench_schedule_k0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("k0/schedule");
+    g.sample_size(20);
+    for &n in &[200usize, 1_000, 4_000] {
+        let (jobs, ids) = mixed_workload(n, 13);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(jobs, ids), |b, (jobs, ids)| {
+            b.iter(|| schedule_k0(black_box(jobs), ids).accepted.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_opt0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("k0/exact-dp");
+    g.sample_size(10);
+    for n in [12u32, 16] {
+        let jobs = Fig2Instance::new(n).build();
+        let ids: Vec<JobId> = jobs.ids().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(jobs, ids), |b, (jobs, ids)| {
+            b.iter(|| opt_nonpreemptive(black_box(jobs), ids).value)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_k0, bench_exact_opt0);
+criterion_main!(benches);

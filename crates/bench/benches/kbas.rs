@@ -1,0 +1,52 @@
+//! E2/E3 benches: the k-BAS algorithms (`TM`, `LevelledContraction`) on
+//! random forests and the Appendix A adversarial tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pobp_forest::{levelled_contraction, tm, LowerBoundTree};
+use pobp_instances::random_forest;
+use std::hint::black_box;
+
+fn bench_tm_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tm/random-forest");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let f = random_forest(n, 0.05, 42);
+        g.throughput(Throughput::Elements(n as u64));
+        for &k in &[1u32, 4] {
+            g.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &f, |b, f| {
+                b.iter(|| tm(black_box(f), k).value)
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_contraction_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("levelled-contraction/random-forest");
+    g.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let f = random_forest(n, 0.05, 42);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("k1", n), &f, |b, f| {
+            b.iter(|| levelled_contraction(black_box(f), 1).value())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tm_adversarial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tm/appendix-a-tree");
+    g.sample_size(15);
+    for depth in [4u32, 6] {
+        let lb = LowerBoundTree::for_k(2, depth);
+        let f = lb.build();
+        g.throughput(Throughput::Elements(f.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &f, |b, f| {
+            b.iter(|| tm(black_box(f), 2).value)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tm_random, bench_contraction_random, bench_tm_adversarial);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E1 benches: EDF scheduling and the Figure 1 laminar rearrangement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pobp_bench::mixed_workload;
+use pobp_sched::{edf_schedule, is_laminar, laminarize};
+use std::hint::black_box;
+
+fn bench_edf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edf/schedule");
+    g.sample_size(30);
+    for &n in &[100usize, 1_000, 10_000] {
+        let (jobs, ids) = mixed_workload(n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(jobs, ids), |b, (jobs, ids)| {
+            b.iter(|| edf_schedule(black_box(jobs), ids, None).schedule.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_laminarize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("laminarize");
+    g.sample_size(30);
+    for &n in &[100usize, 1_000] {
+        let (jobs, ids) = mixed_workload(n, 7);
+        let sched = edf_schedule(&jobs, &ids, None).schedule;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(jobs, sched), |b, (jobs, s)| {
+            b.iter(|| laminarize(black_box(jobs), s).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_is_laminar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("is-laminar");
+    g.sample_size(40);
+    let (jobs, ids) = mixed_workload(2_000, 7);
+    let sched = edf_schedule(&jobs, &ids, None).schedule;
+    g.bench_function("n2000", |b| b.iter(|| is_laminar(black_box(&sched))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_edf, bench_laminarize, bench_is_laminar);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E5/E8 benches: building and solving the paper's lower-bound instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pobp_core::JobId;
+use pobp_instances::{Fig2Instance, Fig4Instance};
+use pobp_sched::{edf_schedule, opt_nonpreemptive, reduce_to_k_bounded};
+use std::hint::black_box;
+
+fn bench_fig4_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/edf+reduction");
+    g.sample_size(15);
+    for depth in [3u32, 4] {
+        let inst = Fig4Instance::for_k(2, depth);
+        let built = inst.build();
+        let ids: Vec<JobId> = built.jobs.ids().collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(depth),
+            &(built.jobs, ids),
+            |b, (jobs, ids)| {
+                b.iter(|| {
+                    let inf = edf_schedule(black_box(jobs), ids, None);
+                    reduce_to_k_bounded(jobs, &inf.schedule, 2)
+                        .unwrap()
+                        .schedule
+                        .value(jobs)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig4_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/build");
+    g.sample_size(20);
+    for depth in [3u32, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| Fig4Instance::for_k(2, d).build().jobs.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2_opt0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/opt-nonpreemptive");
+    g.sample_size(10);
+    for n in [10u32, 14] {
+        let jobs = Fig2Instance::new(n).build();
+        let ids: Vec<JobId> = jobs.ids().collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(jobs, ids), |b, (jobs, ids)| {
+            b.iter(|| opt_nonpreemptive(black_box(jobs), ids).value)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4_pipeline, bench_fig4_build, bench_fig2_opt0);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E6 benches: Algorithm 2 (`LSA` / `LSA_CS`) throughput on lax workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pobp_bench::lax_workload;
+use pobp_sched::{lsa, lsa_cs};
+use std::hint::black_box;
+
+fn bench_lsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsa/plain");
+    g.sample_size(20);
+    for &n in &[200usize, 1_000, 4_000] {
+        let (jobs, ids) = lax_workload(n, 2, 64, 11);
+        g.throughput(Throughput::Elements(n as u64));
+        for &k in &[1u32, 3] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &(jobs.clone(), ids.clone()),
+                |b, (jobs, ids)| b.iter(|| lsa(black_box(jobs), ids, k).accepted.len()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_lsa_cs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsa/classify-and-select");
+    g.sample_size(20);
+    for &n in &[200usize, 1_000, 4_000] {
+        let (jobs, ids) = lax_workload(n, 2, 64, 11);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(jobs, ids),
+            |b, (jobs, ids)| b.iter(|| lsa_cs(black_box(jobs), ids, 2).accepted.len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lsa, bench_lsa_cs);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E9 benches: the iterative multi-machine extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pobp_bench::mixed_workload;
+use pobp_sched::{iterative_multi_machine, lsa_cs};
+use std::hint::black_box;
+
+fn bench_multi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multi-machine/lsa-cs-k2");
+    g.sample_size(15);
+    let (jobs, ids) = mixed_workload(400, 21);
+    for &m in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                iterative_multi_machine(black_box(&jobs), &ids, m, |js, rem| {
+                    lsa_cs(js, rem, 2).schedule
+                })
+                .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multi);
+criterion_main!(benches);

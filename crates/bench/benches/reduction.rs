@@ -1,0 +1,46 @@
+//! E4 benches: the full Theorem 4.2 pipeline (laminarize → forest → TM →
+//! reconstruct) and its stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pobp_bench::mixed_workload;
+use pobp_sched::{edf_schedule, laminarize, reduce_to_k_bounded, schedule_forest};
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction/full");
+    g.sample_size(20);
+    for &n in &[100usize, 400, 1_600] {
+        let (jobs, ids) = mixed_workload(n, 3);
+        let inf = edf_schedule(&jobs, &ids, None).schedule;
+        g.throughput(Throughput::Elements(n as u64));
+        for &k in &[1u32, 3] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &(jobs.clone(), inf.clone()),
+                |b, (jobs, inf)| {
+                    b.iter(|| {
+                        reduce_to_k_bounded(black_box(jobs), inf, k)
+                            .unwrap()
+                            .schedule
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_forest_stage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction/schedule-forest");
+    g.sample_size(30);
+    let (jobs, ids) = mixed_workload(1_000, 3);
+    let lam = laminarize(&jobs, &edf_schedule(&jobs, &ids, None).schedule).unwrap();
+    g.bench_function("n1000", |b| {
+        b.iter(|| schedule_forest(black_box(&jobs), &lam).forest.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_forest_stage);
+criterion_main!(benches);

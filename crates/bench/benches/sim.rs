@@ -1,0 +1,49 @@
+//! E12 benches: the overhead-aware online executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pobp_bench::mixed_workload;
+use pobp_sim::{execute_online, switch_points, Policy, SimConfig};
+use std::hint::black_box;
+
+fn bench_execute_online(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/execute-online");
+    g.sample_size(20);
+    for &n in &[200usize, 1_000] {
+        let (jobs, ids) = mixed_workload(n, 19);
+        g.throughput(Throughput::Elements(n as u64));
+        for (name, policy) in [
+            ("edf", Policy::Edf),
+            ("budget1", Policy::EdfBudget(1)),
+            ("nonpre", Policy::NonPreemptive),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(jobs.clone(), ids.clone()),
+                |b, (jobs, ids)| {
+                    b.iter(|| {
+                        execute_online(
+                            black_box(jobs),
+                            ids,
+                            SimConfig { policy, switch_cost: 2 },
+                        )
+                        .schedule
+                        .len()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_switch_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/switch-points");
+    g.sample_size(30);
+    let (jobs, ids) = mixed_workload(2_000, 19);
+    let sched = pobp_sched::edf_schedule(&jobs, &ids, None).schedule;
+    g.bench_function("n2000", |b| b.iter(|| switch_points(black_box(&sched)).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_execute_online, bench_switch_analysis);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Shared workload builders for the pobp benches and the `experiments`
+//! binary, so that Criterion targets and the paper-table harness measure
+//! exactly the same inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+use pobp_core::{JobId, JobSet};
+use pobp_instances::{LaxityModel, RandomWorkload, ValueModel};
+
+/// The standard mixed-laxity workload used across benches (seeded).
+pub fn mixed_workload(n: usize, seed: u64) -> (JobSet, Vec<JobId>) {
+    let jobs = RandomWorkload {
+        n,
+        horizon: (n as i64).max(1) * 6,
+        length_range: (2, 64),
+        laxity: LaxityModel::Uniform { max: 10.0 },
+        values: ValueModel::Uniform { max: 100 },
+    }
+    .generate(seed);
+    let ids = jobs.ids().collect();
+    (jobs, ids)
+}
+
+/// An all-lax workload for the LSA benches (`λ ≥ k+1`).
+pub fn lax_workload(n: usize, k: u32, p_max: i64, seed: u64) -> (JobSet, Vec<JobId>) {
+    let jobs = RandomWorkload {
+        n,
+        horizon: (n as i64).max(1) * 8,
+        length_range: (1, p_max.max(1)),
+        laxity: LaxityModel::Lax { k, factor: 3.0 },
+        values: ValueModel::Uniform { max: 50 },
+    }
+    .generate(seed);
+    let ids = jobs.ids().collect();
+    (jobs, ids)
+}
+
+/// A small workload sized for the exact oracles.
+pub fn small_workload(n: usize, seed: u64) -> (JobSet, Vec<JobId>) {
+    let jobs = RandomWorkload {
+        n,
+        horizon: 40,
+        length_range: (1, 12),
+        laxity: LaxityModel::Uniform { max: 4.0 },
+        values: ValueModel::Uniform { max: 20 },
+    }
+    .generate(seed);
+    let ids = jobs.ids().collect();
+    (jobs, ids)
+}
+
+/// Geometric mean of a slice (for summarizing measured ratios).
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// `log_{k+1} x`, floored at 1 — the recurring bound expression.
+pub fn log_base_k1(x: f64, k: u32) -> f64 {
+    (x.ln() / ((k + 1) as f64).ln()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_seeded_and_sized() {
+        let (a, ids) = mixed_workload(64, 3);
+        let (b, _) = mixed_workload(64, 3);
+        assert_eq!(a, b);
+        assert_eq!(ids.len(), 64);
+        let (lax, _) = lax_workload(32, 2, 16, 1);
+        for (_, j) in lax.iter() {
+            assert!(j.laxity() >= 3.0);
+        }
+    }
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geo_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn log_base() {
+        assert!((log_base_k1(8.0, 1) - 3.0).abs() < 1e-12);
+        assert_eq!(log_base_k1(1.5, 7), 1.0);
+    }
+}

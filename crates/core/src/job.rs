@@ -1,0 +1,381 @@
+//! Jobs and job sets (§2.1 of the paper).
+
+use crate::time::{Interval, Time};
+
+/// Job values. The experiments only ever *compare and sum* values; all
+/// constructions in this repository use integer-valued `f64`s (exact up to
+/// 2^53), so sums and ratios are exact. See `DESIGN.md` §4.
+pub type Value = f64;
+
+/// Identifier of a job inside a [`JobSet`] (its index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub usize);
+
+impl std::fmt::Debug for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// A job `⟨r_j, d_j, p_j⟩` with a value, as in §2.1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Job {
+    /// Release time `r_j`: the job may not run before this tick.
+    pub release: Time,
+    /// Deadline `d_j`: the job must finish by this tick.
+    pub deadline: Time,
+    /// Length (processing time) `p_j > 0`.
+    pub length: Time,
+    /// Value `val(j) > 0`.
+    pub value: Value,
+}
+
+impl Job {
+    /// Creates a job, validating `p_j > 0`, `val(j) > 0` and `p_j ≤ d_j - r_j`.
+    ///
+    /// # Panics
+    /// Panics when the job could never be scheduled (window shorter than the
+    /// length) or has a non-positive length/value. Use [`Job::try_new`] for a
+    /// fallible variant.
+    pub fn new(release: Time, deadline: Time, length: Time, value: Value) -> Self {
+        Self::try_new(release, deadline, length, value).expect("invalid job")
+    }
+
+    /// Fallible constructor; see [`Job::new`].
+    pub fn try_new(
+        release: Time,
+        deadline: Time,
+        length: Time,
+        value: Value,
+    ) -> Result<Self, JobError> {
+        if length <= 0 {
+            return Err(JobError::NonPositiveLength(length));
+        }
+        if value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !value.is_finite() {
+            return Err(JobError::NonPositiveValue(value));
+        }
+        if deadline - release < length {
+            return Err(JobError::WindowTooSmall {
+                window: deadline - release,
+                length,
+            });
+        }
+        Ok(Job { release, deadline, length, value })
+    }
+
+    /// The time window `[r_j, d_j)` the job must execute within.
+    #[inline]
+    pub fn window(&self) -> Interval {
+        Interval::new(self.release, self.deadline)
+    }
+
+    /// Window length `w(j) = d_j - r_j` (§4.3.1).
+    #[inline]
+    pub fn window_len(&self) -> Time {
+        self.deadline - self.release
+    }
+
+    /// Relative laxity `λ_j = (d_j - r_j) / p_j` (Definition 4.4).
+    ///
+    /// Always ≥ 1 for a valid job.
+    #[inline]
+    pub fn laxity(&self) -> f64 {
+        self.window_len() as f64 / self.length as f64
+    }
+
+    /// Whether the job is *strict* for a given `k`, i.e. `λ_j ≤ k + 1`
+    /// (the `J_1` class of §4.3).
+    #[inline]
+    pub fn is_strict(&self, k: u32) -> bool {
+        // λ ≤ k+1  ⟺  window ≤ (k+1)·p, exactly, in integers.
+        self.window_len() <= (k as Time + 1) * self.length
+    }
+
+    /// Density `σ_j = val(j) / p_j` (§4.3.2) — the sort key of LSA.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.value / self.length as f64
+    }
+}
+
+/// Errors from [`Job::try_new`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JobError {
+    /// `p_j ≤ 0`.
+    NonPositiveLength(Time),
+    /// `val(j) ≤ 0` or not finite.
+    NonPositiveValue(Value),
+    /// `d_j - r_j < p_j`: the job cannot fit in its own window.
+    WindowTooSmall {
+        /// `d_j - r_j`.
+        window: Time,
+        /// `p_j`.
+        length: Time,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::NonPositiveLength(p) => write!(f, "job length {p} is not positive"),
+            JobError::NonPositiveValue(v) => write!(f, "job value {v} is not positive"),
+            JobError::WindowTooSmall { window, length } => {
+                write!(f, "window {window} is shorter than length {length}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// An indexed set of jobs `J`; `JobId(i)` names the `i`-th job.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobSet {
+    jobs: Vec<Job>,
+}
+
+impl JobSet {
+    /// The empty job set.
+    pub fn new() -> Self {
+        JobSet { jobs: Vec::new() }
+    }
+
+    /// Builds a set from jobs in order; `JobId(i)` is the `i`-th element.
+    pub fn from_jobs(jobs: Vec<Job>) -> Self {
+        JobSet { jobs }
+    }
+
+    /// Appends a job, returning its id.
+    pub fn push(&mut self, job: Job) -> JobId {
+        self.jobs.push(job);
+        JobId(self.jobs.len() - 1)
+    }
+
+    /// Number of jobs `n = |J|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The job named by `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    #[inline]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.0]
+    }
+
+    /// The job named by `id`, if in range.
+    pub fn get(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(id.0)
+    }
+
+    /// Iterates `(JobId, &Job)` in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (JobId, &Job)> + Clone {
+        self.jobs.iter().enumerate().map(|(i, j)| (JobId(i), j))
+    }
+
+    /// All job ids in order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = JobId> + Clone + use<> {
+        (0..self.jobs.len()).map(JobId)
+    }
+
+    /// Total value `val(J) = Σ val(j)`.
+    pub fn total_value(&self) -> Value {
+        self.jobs.iter().map(|j| j.value).sum()
+    }
+
+    /// Total value of a subset of the jobs.
+    pub fn value_of<'a, I: IntoIterator<Item = &'a JobId>>(&self, ids: I) -> Value {
+        ids.into_iter().map(|id| self.job(*id).value).sum()
+    }
+
+    /// The length ratio `P = max_j p_j / min_j p_j` (≥ 1), or `None` when
+    /// the set is empty.
+    pub fn length_ratio(&self) -> Option<f64> {
+        let max = self.jobs.iter().map(|j| j.length).max()?;
+        let min = self.jobs.iter().map(|j| j.length).min()?;
+        Some(max as f64 / min as f64)
+    }
+
+    /// Maximal relative laxity `λ_max` (Definition 4.4), or `None` when empty.
+    pub fn max_laxity(&self) -> Option<f64> {
+        self.jobs.iter().map(Job::laxity).fold(None, |acc, l| {
+            Some(match acc {
+                None => l,
+                Some(a) => a.max(l),
+            })
+        })
+    }
+
+    /// Earliest release time, or `None` when empty.
+    pub fn min_release(&self) -> Option<Time> {
+        self.jobs.iter().map(|j| j.release).min()
+    }
+
+    /// Latest deadline, or `None` when empty.
+    pub fn max_deadline(&self) -> Option<Time> {
+        self.jobs.iter().map(|j| j.deadline).max()
+    }
+
+    /// The horizon `[min release, max deadline)`, or `None` when empty.
+    pub fn horizon(&self) -> Option<Interval> {
+        Some(Interval::new(self.min_release()?, self.max_deadline()?))
+    }
+
+    /// Splits job ids into strict (`λ ≤ k+1`) and lax (`λ > k+1`) classes —
+    /// the `J_1` / `J_2` partition of Algorithm 3.
+    ///
+    /// Jobs with `λ = k+1` exactly land in the strict class (the paper
+    /// includes the boundary in both and the choice does not affect bounds).
+    pub fn split_by_laxity(&self, k: u32) -> (Vec<JobId>, Vec<JobId>) {
+        let mut strict = Vec::new();
+        let mut lax = Vec::new();
+        for (id, job) in self.iter() {
+            if job.is_strict(k) {
+                strict.push(id);
+            } else {
+                lax.push(id);
+            }
+        }
+        (strict, lax)
+    }
+
+    /// The sub-multiset of jobs named by `ids`, re-indexed from 0, together
+    /// with the mapping from new ids back to the originals.
+    pub fn subset(&self, ids: &[JobId]) -> (JobSet, Vec<JobId>) {
+        let jobs = ids.iter().map(|id| *self.job(*id)).collect();
+        (JobSet::from_jobs(jobs), ids.to_vec())
+    }
+}
+
+impl std::ops::Index<JobId> for JobSet {
+    type Output = Job;
+    fn index(&self, id: JobId) -> &Job {
+        &self.jobs[id.0]
+    }
+}
+
+impl FromIterator<Job> for JobSet {
+    fn from_iter<I: IntoIterator<Item = Job>>(iter: I) -> Self {
+        JobSet { jobs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_validation() {
+        assert!(Job::try_new(0, 10, 10, 1.0).is_ok());
+        assert!(matches!(
+            Job::try_new(0, 9, 10, 1.0),
+            Err(JobError::WindowTooSmall { window: 9, length: 10 })
+        ));
+        assert!(matches!(Job::try_new(0, 10, 0, 1.0), Err(JobError::NonPositiveLength(0))));
+        assert!(matches!(Job::try_new(0, 10, 5, 0.0), Err(JobError::NonPositiveValue(_))));
+        assert!(matches!(
+            Job::try_new(0, 10, 5, f64::NAN),
+            Err(JobError::NonPositiveValue(_))
+        ));
+        assert!(matches!(
+            Job::try_new(0, 10, 5, f64::INFINITY),
+            Err(JobError::NonPositiveValue(_))
+        ));
+    }
+
+    #[test]
+    fn laxity_and_strictness() {
+        let tight = Job::new(0, 10, 10, 1.0);
+        assert_eq!(tight.laxity(), 1.0);
+        assert!(tight.is_strict(0));
+        assert!(tight.is_strict(3));
+
+        let lax = Job::new(0, 100, 10, 1.0);
+        assert_eq!(lax.laxity(), 10.0);
+        assert!(!lax.is_strict(1)); // λ = 10 > 2
+        assert!(!lax.is_strict(8)); // λ = 10 > 9
+        assert!(lax.is_strict(9)); // λ = 10 ≤ 10 — boundary goes strict
+    }
+
+    #[test]
+    fn density() {
+        let j = Job::new(0, 10, 4, 8.0);
+        assert_eq!(j.density(), 2.0);
+    }
+
+    #[test]
+    fn jobset_stats() {
+        let js: JobSet = vec![
+            Job::new(0, 10, 2, 1.0),
+            Job::new(5, 30, 8, 3.0),
+            Job::new(-5, 3, 4, 2.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(js.len(), 3);
+        assert_eq!(js.total_value(), 6.0);
+        assert_eq!(js.length_ratio(), Some(4.0));
+        assert_eq!(js.min_release(), Some(-5));
+        assert_eq!(js.max_deadline(), Some(30));
+        assert_eq!(js.horizon(), Some(Interval::new(-5, 30)));
+        assert_eq!(js.value_of(&[JobId(0), JobId(2)]), 3.0);
+        assert_eq!(js.max_laxity(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_jobset_stats() {
+        let js = JobSet::new();
+        assert!(js.is_empty());
+        assert_eq!(js.total_value(), 0.0);
+        assert_eq!(js.length_ratio(), None);
+        assert_eq!(js.horizon(), None);
+        assert_eq!(js.max_laxity(), None);
+    }
+
+    #[test]
+    fn laxity_split() {
+        let js: JobSet = vec![
+            Job::new(0, 10, 10, 1.0), // λ = 1, strict for any k
+            Job::new(0, 20, 10, 1.0), // λ = 2, strict for k ≥ 1
+            Job::new(0, 100, 10, 1.0), // λ = 10, lax for k ≤ 8
+        ]
+        .into_iter()
+        .collect();
+        let (strict, lax) = js.split_by_laxity(1);
+        assert_eq!(strict, vec![JobId(0), JobId(1)]);
+        assert_eq!(lax, vec![JobId(2)]);
+        let (strict, _) = js.split_by_laxity(9);
+        assert_eq!(strict.len(), 3);
+    }
+
+    #[test]
+    fn subset_reindexes() {
+        let js: JobSet = vec![
+            Job::new(0, 10, 1, 1.0),
+            Job::new(0, 10, 2, 2.0),
+            Job::new(0, 10, 3, 3.0),
+        ]
+        .into_iter()
+        .collect();
+        let (sub, back) = js.subset(&[JobId(2), JobId(0)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.job(JobId(0)).length, 3);
+        assert_eq!(sub.job(JobId(1)).length, 1);
+        assert_eq!(back, vec![JobId(2), JobId(0)]);
+    }
+}

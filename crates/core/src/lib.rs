@@ -1,0 +1,38 @@
+//! # pobp-core — scheduling substrate for *The Price of Bounded Preemption*
+//!
+//! The data model shared by every crate in the `pobp` workspace:
+//!
+//! * [`Time`] / [`Interval`] — integer ticks and half-open intervals, with
+//!   the segment-precedence relation of §2.2 of the paper;
+//! * [`SegmentSet`] — normalized disjoint segment sets (job schedules, busy
+//!   timelines, idle complements);
+//! * [`Job`] / [`JobSet`] — jobs `⟨r_j, d_j, p_j⟩` with values, laxity
+//!   (Definition 4.4), density, and the strict/lax split of Algorithm 3;
+//! * [`Schedule`] — per-job machine assignments with a complete checker for
+//!   Definition 2.1 (window containment, exact lengths, machine
+//!   disjointness, the `k`-preemption bound);
+//! * [`Timeline`] — busy/idle bookkeeping for the constructive algorithms.
+//!
+//! Everything is exact integer arithmetic; feasibility is a decidable
+//! predicate with no epsilons ([`Schedule::verify`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod render;
+mod schedule;
+mod segs;
+mod stats;
+mod svg;
+mod time;
+mod timeline;
+
+pub use job::{Job, JobError, JobId, JobSet, Value};
+pub use render::{render_gantt, render_timeline, RenderOptions};
+pub use schedule::{Assignment, Infeasibility, MachineId, Schedule};
+pub use segs::SegmentSet;
+pub use stats::{schedule_stats, window_load, ScheduleStats};
+pub use svg::{render_svg, SvgOptions};
+pub use time::{Interval, Time};
+pub use timeline::Timeline;

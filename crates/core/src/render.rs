@@ -1,0 +1,214 @@
+//! ASCII rendering of schedules — Gantt-style charts for examples, docs and
+//! debugging. Pure formatting; no behaviour depends on this module.
+
+use crate::job::{JobId, JobSet};
+use crate::schedule::Schedule;
+use crate::time::{Interval, Time};
+
+/// Options for [`render_gantt`].
+#[derive(Clone, Copy, Debug)]
+pub struct RenderOptions {
+    /// Maximum chart width in characters (time axis is scaled to fit).
+    pub width: usize,
+    /// Also draw each job's `[release, deadline)` window as dots.
+    pub show_windows: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions { width: 72, show_windows: true }
+    }
+}
+
+/// Renders a single-machine view of `schedule` (all machines stacked,
+/// grouped by machine) as an ASCII Gantt chart. Each job is one row:
+/// `█` where it executes, `·` inside its window (if enabled), spaces
+/// elsewhere.
+///
+/// Rows are sorted by machine, then by first execution time. Returns an
+/// empty string for an empty schedule.
+pub fn render_gantt(jobs: &JobSet, schedule: &Schedule, opts: RenderOptions) -> String {
+    if schedule.is_empty() {
+        return String::new();
+    }
+    // Chart bounds: union of windows (if shown) and executions.
+    let mut lo = Time::MAX;
+    let mut hi = Time::MIN;
+    for (id, a) in schedule.iter() {
+        let job = jobs.job(id);
+        if opts.show_windows {
+            lo = lo.min(job.release);
+            hi = hi.max(job.deadline);
+        }
+        lo = lo.min(a.segs.min_start().expect("non-empty"));
+        hi = hi.max(a.segs.max_end().expect("non-empty"));
+    }
+    let span = (hi - lo).max(1);
+    let width = opts.width.max(8);
+    // Columns map to half-open time cells of `scale` ticks.
+    let scale = (span as f64 / width as f64).max(1.0);
+    let col_of = |t: Time| -> usize {
+        (((t - lo) as f64 / scale).floor() as usize).min(width.saturating_sub(1))
+    };
+
+    let mut rows: Vec<(usize, Time, JobId)> = schedule
+        .iter()
+        .map(|(id, a)| (a.machine, a.segs.min_start().expect("non-empty"), id))
+        .collect();
+    rows.sort_unstable();
+
+    let label_w = rows
+        .iter()
+        .map(|&(m, _, id)| format!("m{m} {id}").len())
+        .max()
+        .unwrap_or(4);
+
+    let mut out = String::new();
+    // Time axis header.
+    out.push_str(&format!("{:label_w$} {lo}", ""));
+    let axis_tail = format!("{hi}");
+    let pad = width.saturating_sub(format!("{lo}").len() + axis_tail.len());
+    out.push_str(&" ".repeat(pad));
+    out.push_str(&axis_tail);
+    out.push('\n');
+
+    let mut last_machine = usize::MAX;
+    for (machine, _, id) in rows {
+        if machine != last_machine && last_machine != usize::MAX {
+            out.push_str(&format!("{:-<w$}\n", "", w = label_w + 1 + width));
+        }
+        last_machine = machine;
+        let job = jobs.job(id);
+        let mut line = vec![b' '; width];
+        if opts.show_windows {
+            let (a, b) = (col_of(job.release), col_of(job.deadline - 1));
+            for cell in line.iter_mut().take(b + 1).skip(a) {
+                *cell = b'.';
+            }
+        }
+        let segs = schedule.segments(id).expect("row exists");
+        for seg in segs.iter() {
+            let (a, b) = (col_of(seg.start), col_of(seg.end - 1));
+            for cell in line.iter_mut().take(b + 1).skip(a) {
+                *cell = b'#';
+            }
+        }
+        out.push_str(&format!(
+            "{:label_w$} {}\n",
+            format!("m{machine} {id}"),
+            String::from_utf8(line).expect("ascii"),
+        ));
+    }
+    out
+}
+
+/// Renders the busy/idle structure of one machine as a single line
+/// (`#` busy, `.` idle) over `window`.
+pub fn render_timeline(schedule: &Schedule, machine: usize, window: Interval, width: usize) -> String {
+    let busy = schedule.busy(machine);
+    let width = width.max(8);
+    let scale = (window.len() as f64 / width as f64).max(1.0);
+    (0..width)
+        .map(|c| {
+            let t = window.start + (c as f64 * scale) as Time;
+            if busy.contains_point(t) {
+                '#'
+            } else {
+                '.'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::segs::SegmentSet;
+
+    fn setup() -> (JobSet, Schedule) {
+        let jobs: JobSet = vec![Job::new(0, 10, 4, 1.0), Job::new(2, 8, 3, 1.0)]
+            .into_iter()
+            .collect();
+        let mut s = Schedule::new();
+        s.assign_single(
+            JobId(0),
+            SegmentSet::from_intervals([Interval::new(0, 2), Interval::new(5, 7)]),
+        );
+        s.assign_single(JobId(1), SegmentSet::from_intervals([Interval::new(2, 5)]));
+        (jobs, s)
+    }
+
+    #[test]
+    fn renders_rows_for_each_job() {
+        let (jobs, s) = setup();
+        let out = render_gantt(&jobs, &s, RenderOptions::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rows
+        assert!(lines[1].contains("j0"));
+        assert!(lines[2].contains("j1"));
+        assert!(out.contains('#'));
+        assert!(out.contains('.'));
+    }
+
+    #[test]
+    fn empty_schedule_renders_empty() {
+        let (jobs, _) = setup();
+        assert_eq!(render_gantt(&jobs, &Schedule::new(), RenderOptions::default()), "");
+    }
+
+    #[test]
+    fn windows_can_be_hidden() {
+        let (jobs, s) = setup();
+        let out = render_gantt(
+            &jobs,
+            &s,
+            RenderOptions { width: 40, show_windows: false },
+        );
+        assert!(!out.contains('.'));
+    }
+
+    #[test]
+    fn multi_machine_rows_are_separated() {
+        let jobs: JobSet = vec![Job::new(0, 10, 4, 1.0), Job::new(0, 10, 4, 1.0)]
+            .into_iter()
+            .collect();
+        let mut s = Schedule::new();
+        s.assign(JobId(0), 0, SegmentSet::singleton(Interval::new(0, 4)));
+        s.assign(JobId(1), 1, SegmentSet::singleton(Interval::new(0, 4)));
+        let out = render_gantt(&jobs, &s, RenderOptions::default());
+        assert!(out.contains("m0 j0"));
+        assert!(out.contains("m1 j1"));
+        assert!(out.contains("---"), "machine separator expected");
+    }
+
+    #[test]
+    fn timeline_line_marks_busy_cells() {
+        let (_, s) = setup();
+        let line = render_timeline(&s, 0, Interval::new(0, 10), 10);
+        assert_eq!(line.len(), 10);
+        assert_eq!(&line[0..1], "#");
+        assert!(line.contains('.'));
+        // Idle machine renders all dots.
+        let empty = render_timeline(&Schedule::new(), 0, Interval::new(0, 10), 10);
+        assert_eq!(empty, "..........");
+    }
+
+    #[test]
+    fn narrow_width_is_clamped() {
+        let (jobs, s) = setup();
+        let out = render_gantt(&jobs, &s, RenderOptions { width: 1, show_windows: true });
+        assert!(!out.is_empty()); // clamped to the minimum, no panic
+    }
+
+    #[test]
+    fn long_horizon_scales_down() {
+        let jobs: JobSet = vec![Job::new(0, 1_000_000, 500_000, 1.0)].into_iter().collect();
+        let mut s = Schedule::new();
+        s.assign_single(JobId(0), SegmentSet::singleton(Interval::new(0, 500_000)));
+        let out = render_gantt(&jobs, &s, RenderOptions { width: 50, show_windows: true });
+        for line in out.lines().skip(1) {
+            assert!(line.len() <= 50 + 10, "row too wide: {}", line.len());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! SVG rendering of schedules — self-contained vector Gantt charts with
+//! windows, segments, and machine lanes. No dependencies; the output is a
+//! plain SVG 1.1 string suitable for embedding in docs.
+
+use crate::job::{JobId, JobSet};
+use crate::schedule::Schedule;
+use crate::time::Time;
+
+/// Options for [`render_svg`].
+#[derive(Clone, Copy, Debug)]
+pub struct SvgOptions {
+    /// Total image width in pixels.
+    pub width: u32,
+    /// Height of one job row in pixels.
+    pub row_height: u32,
+    /// Draw the `[release, deadline)` window behind each job's bar.
+    pub show_windows: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 800, row_height: 22, show_windows: true }
+    }
+}
+
+/// A small qualitative palette (cycled per job).
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders the schedule as an SVG document (one row per scheduled job,
+/// grouped by machine, time on the x-axis). Returns an empty `<svg/>`
+/// element for an empty schedule.
+pub fn render_svg(jobs: &JobSet, schedule: &Schedule, opts: SvgOptions) -> String {
+    let label_w = 64u32;
+    if schedule.is_empty() {
+        return format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"24\"/>\n",
+            w = opts.width
+        );
+    }
+    // Bounds.
+    let mut lo = Time::MAX;
+    let mut hi = Time::MIN;
+    for (id, a) in schedule.iter() {
+        let job = jobs.job(id);
+        if opts.show_windows {
+            lo = lo.min(job.release);
+            hi = hi.max(job.deadline);
+        }
+        lo = lo.min(a.segs.min_start().expect("non-empty"));
+        hi = hi.max(a.segs.max_end().expect("non-empty"));
+    }
+    let span = (hi - lo).max(1) as f64;
+    let plot_w = opts.width.saturating_sub(label_w).max(64) as f64;
+    let x_of = |t: Time| label_w as f64 + (t - lo) as f64 / span * plot_w;
+
+    let mut rows: Vec<(usize, Time, JobId)> = schedule
+        .iter()
+        .map(|(id, a)| (a.machine, a.segs.min_start().expect("non-empty"), id))
+        .collect();
+    rows.sort_unstable();
+
+    let rh = opts.row_height.max(10);
+    let height = rh * rows.len() as u32 + 28;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n",
+        opts.width
+    );
+    // Time axis labels.
+    svg.push_str(&format!(
+        "  <text x=\"{label_w}\" y=\"12\" fill=\"#555\">{lo}</text>\n\
+         \x20 <text x=\"{}\" y=\"12\" fill=\"#555\" text-anchor=\"end\">{hi}</text>\n",
+        opts.width - 4
+    ));
+    let top = 18u32;
+    for (row, &(machine, _, id)) in rows.iter().enumerate() {
+        let y = top + row as u32 * rh;
+        let color = PALETTE[id.0 % PALETTE.len()];
+        let job = jobs.job(id);
+        // Label.
+        svg.push_str(&format!(
+            "  <text x=\"2\" y=\"{}\" fill=\"#333\">{}</text>\n",
+            y + rh * 2 / 3,
+            esc(&format!("m{machine} {id}"))
+        ));
+        // Window backdrop.
+        if opts.show_windows {
+            let (x0, x1) = (x_of(job.release), x_of(job.deadline));
+            svg.push_str(&format!(
+                "  <rect x=\"{x0:.1}\" y=\"{}\" width=\"{:.1}\" height=\"{}\" \
+                 fill=\"{color}\" opacity=\"0.15\"/>\n",
+                y + 2,
+                (x1 - x0).max(1.0),
+                rh - 4
+            ));
+        }
+        // Segments.
+        for seg in schedule.segments(id).expect("row exists").iter() {
+            let (x0, x1) = (x_of(seg.start), x_of(seg.end));
+            svg.push_str(&format!(
+                "  <rect x=\"{x0:.1}\" y=\"{}\" width=\"{:.1}\" height=\"{}\" \
+                 fill=\"{color}\"><title>{}: [{}, {})</title></rect>\n",
+                y + 2,
+                (x1 - x0).max(1.0),
+                rh - 4,
+                esc(&id.to_string()),
+                seg.start,
+                seg.end
+            ));
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::segs::SegmentSet;
+    use crate::time::Interval;
+
+    fn setup() -> (JobSet, Schedule) {
+        let jobs: JobSet = vec![Job::new(0, 10, 4, 1.0), Job::new(2, 8, 3, 1.0)]
+            .into_iter()
+            .collect();
+        let mut s = Schedule::new();
+        s.assign_single(
+            JobId(0),
+            SegmentSet::from_intervals([Interval::new(0, 2), Interval::new(5, 7)]),
+        );
+        s.assign_single(JobId(1), SegmentSet::from_intervals([Interval::new(2, 5)]));
+        (jobs, s)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (jobs, s) = setup();
+        let svg = render_svg(&jobs, &s, SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced rect tags: 2 windows + 3 segments = 5 rects.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("m0 j0"));
+        assert!(svg.contains("m0 j1"));
+        // Tooltips carry the exact segment bounds.
+        assert!(svg.contains("[0, 2)"));
+        assert!(svg.contains("[5, 7)"));
+    }
+
+    #[test]
+    fn empty_schedule_is_empty_svg() {
+        let (jobs, _) = setup();
+        let svg = render_svg(&jobs, &Schedule::new(), SvgOptions::default());
+        assert!(svg.contains("<svg"));
+        assert!(!svg.contains("<rect"));
+    }
+
+    #[test]
+    fn windows_can_be_hidden() {
+        let (jobs, s) = setup();
+        let svg = render_svg(
+            &jobs,
+            &s,
+            SvgOptions { width: 400, row_height: 16, show_windows: false },
+        );
+        assert_eq!(svg.matches("<rect").count(), 3); // segments only
+        assert!(!svg.contains("opacity"));
+    }
+
+    #[test]
+    fn axis_labels_present() {
+        let (jobs, s) = setup();
+        let svg = render_svg(&jobs, &s, SvgOptions::default());
+        // lo = 0, hi = 10 (windows shown).
+        assert!(svg.contains(">0</text>"));
+        assert!(svg.contains(">10</text>"));
+    }
+
+    #[test]
+    fn negative_times_render() {
+        let jobs: JobSet = vec![Job::new(-8, 4, 3, 1.0)].into_iter().collect();
+        let mut s = Schedule::new();
+        s.assign_single(JobId(0), SegmentSet::singleton(Interval::new(-8, -5)));
+        let svg = render_svg(&jobs, &s, SvgOptions::default());
+        assert!(svg.contains(">-8</text>"));
+        assert!(svg.contains("[-8, -5)"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Discrete time, half-open intervals, and the precedence relation of §2.2.
+//!
+//! All quantities in the paper (release times, deadlines, lengths) are reals;
+//! every construction used in the experiments can be pre-scaled to integers
+//! (see `DESIGN.md` §4), so we model time as `i64` ticks. Integer time makes
+//! every feasibility check exact — there is no epsilon anywhere in the crate.
+
+/// A point in time, in abstract integer ticks.
+pub type Time = i64;
+
+/// A half-open interval `[start, end)` on the time line.
+///
+/// Half-open intervals compose without double-counting boundary points:
+/// `[0,5)` and `[5,9)` are disjoint but *touching*, which is exactly the
+/// distinction needed when counting preemptions (two touching segments of the
+/// same job are one contiguous run, not a preemption).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive start tick.
+    pub start: Time,
+    /// Exclusive end tick. Invariant: `end >= start`.
+    pub end: Time,
+}
+
+impl std::fmt::Debug for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+impl Interval {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `end < start` (empty intervals `[t, t)` are allowed; they
+    /// behave as the neutral element and are dropped by [`crate::SegmentSet`]).
+    #[inline]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(end >= start, "Interval end {end} precedes start {start}");
+        Interval { start, end }
+    }
+
+    /// Creates `[start, start + len)`.
+    #[inline]
+    pub fn with_len(start: Time, len: Time) -> Self {
+        Self::new(start, start + len)
+    }
+
+    /// Number of ticks covered.
+    #[inline]
+    pub fn len(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// Whether the interval covers no ticks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` lies inside `[start, end)`.
+    #[inline]
+    pub fn contains_point(&self, t: Time) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[inline]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// The overlap of two intervals, or `None` when they share no tick.
+    ///
+    /// Touching intervals (`[0,5)` / `[5,9)`) do *not* intersect.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(Interval { start, end })
+    }
+
+    /// Whether the two intervals share at least one tick.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start.max(other.start) < self.end.min(other.end)
+    }
+
+    /// The precedence relation of §2.2: `g1 ≺ g2 ⟺ t1 ≤ s2`,
+    /// i.e. `self` ends no later than `other` starts.
+    #[inline]
+    pub fn precedes(&self, other: &Interval) -> bool {
+        self.end <= other.start
+    }
+
+    /// Translates the interval by `delta` ticks.
+    #[inline]
+    pub fn shifted(&self, delta: Time) -> Interval {
+        Interval { start: self.start + delta, end: self.end + delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let a = Interval::new(0, 5);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert!(a.contains_point(0));
+        assert!(a.contains_point(4));
+        assert!(!a.contains_point(5));
+        assert!(!a.contains_point(-1));
+        assert!(Interval::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn with_len_matches_new() {
+        assert_eq!(Interval::with_len(7, 4), Interval::new(7, 11));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reversed_interval_panics() {
+        let _ = Interval::new(5, 4);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 15);
+        assert_eq!(a.intersect(&b), Some(Interval::new(5, 10)));
+        assert_eq!(b.intersect(&a), Some(Interval::new(5, 10)));
+        // Touching intervals do not intersect.
+        assert_eq!(Interval::new(0, 5).intersect(&Interval::new(5, 9)), None);
+        // Nested.
+        assert_eq!(a.intersect(&Interval::new(2, 3)), Some(Interval::new(2, 3)));
+        // Disjoint.
+        assert_eq!(a.intersect(&Interval::new(20, 30)), None);
+    }
+
+    #[test]
+    fn containment() {
+        let a = Interval::new(0, 10);
+        assert!(a.contains(&Interval::new(0, 10)));
+        assert!(a.contains(&Interval::new(3, 7)));
+        assert!(!a.contains(&Interval::new(-1, 7)));
+        assert!(!a.contains(&Interval::new(3, 11)));
+    }
+
+    #[test]
+    fn precedence_is_the_paper_relation() {
+        // g1 ≺ g2 ⟺ t1 ≤ s2 — touching segments are ordered.
+        assert!(Interval::new(0, 5).precedes(&Interval::new(5, 9)));
+        assert!(Interval::new(0, 5).precedes(&Interval::new(6, 9)));
+        assert!(!Interval::new(0, 5).precedes(&Interval::new(4, 9)));
+    }
+
+    #[test]
+    fn shift() {
+        assert_eq!(Interval::new(2, 5).shifted(10), Interval::new(12, 15));
+        assert_eq!(Interval::new(2, 5).shifted(-2), Interval::new(0, 3));
+    }
+}

@@ -1,0 +1,186 @@
+//! A single machine's busy/idle timeline for constructive algorithms.
+//!
+//! The Leftmost Schedule Algorithm (Algorithm 2) and its k = 0 variant only
+//! ever need three operations, all provided here: enumerate the idle segments
+//! inside a window, measure the busy load of a window, and mark new segments
+//! busy. Lemma 4.11/4.12 reason about exactly these quantities.
+
+use crate::segs::SegmentSet;
+use crate::time::{Interval, Time};
+
+/// Busy/idle bookkeeping for one machine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Timeline {
+    busy: SegmentSet,
+}
+
+impl Timeline {
+    /// An entirely idle timeline.
+    pub fn new() -> Self {
+        Timeline { busy: SegmentSet::new() }
+    }
+
+    /// The busy segments, in normal form.
+    pub fn busy(&self) -> &SegmentSet {
+        &self.busy
+    }
+
+    /// The idle segments within `window` — the candidates LSA scans.
+    pub fn idle_within(&self, window: &Interval) -> SegmentSet {
+        self.busy.complement_within(window)
+    }
+
+    /// Total busy ticks inside `window` (`L_busy` of Lemma 4.12).
+    pub fn busy_len_within(&self, window: &Interval) -> Time {
+        self.busy.clip(window).total_len()
+    }
+
+    /// Total idle ticks inside `window` (`L_idle` of Lemma 4.12).
+    pub fn idle_len_within(&self, window: &Interval) -> Time {
+        window.len() - self.busy_len_within(window)
+    }
+
+    /// Whether every tick of `iv` is currently idle.
+    pub fn is_free(&self, iv: &Interval) -> bool {
+        !self.busy.intersects(iv)
+    }
+
+    /// Marks `segs` busy.
+    ///
+    /// # Errors
+    /// Returns the first overlapping segment if any tick is already busy —
+    /// constructive algorithms never double-book, so an overlap is a bug in
+    /// the caller.
+    pub fn allocate(&mut self, segs: &SegmentSet) -> Result<(), Interval> {
+        for s in segs.iter() {
+            if self.busy.intersects(s) {
+                return Err(*s);
+            }
+        }
+        for s in segs.iter() {
+            self.busy.insert(*s);
+        }
+        Ok(())
+    }
+
+    /// Marks a single interval busy; see [`Timeline::allocate`].
+    pub fn allocate_one(&mut self, iv: Interval) -> Result<(), Interval> {
+        if self.busy.intersects(&iv) {
+            return Err(iv);
+        }
+        self.busy.insert(iv);
+        Ok(())
+    }
+
+    /// Fills `need` ticks into the given idle segments from the left,
+    /// returning the occupied sub-segments (the "leftmost possible way" of
+    /// Algorithm 2, line 15). Returns `None` if the segments cannot hold
+    /// `need` ticks; the timeline is not modified in that case.
+    pub fn fill_leftmost(
+        &mut self,
+        idle: &[Interval],
+        need: Time,
+    ) -> Option<SegmentSet> {
+        debug_assert!(need > 0);
+        let total: Time = idle.iter().map(Interval::len).sum();
+        if total < need {
+            return None;
+        }
+        let mut remaining = need;
+        let mut placed = Vec::new();
+        let mut sorted: Vec<Interval> = idle.to_vec();
+        sorted.sort_unstable_by_key(|s| s.start);
+        for s in sorted {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(s.len());
+            placed.push(Interval::with_len(s.start, take));
+            remaining -= take;
+        }
+        debug_assert_eq!(remaining, 0);
+        let set = SegmentSet::from_intervals(placed);
+        self.allocate(&set).expect("idle segments were busy");
+        Some(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: Time, b: Time) -> Interval {
+        Interval::new(a, b)
+    }
+
+    #[test]
+    fn allocate_and_query() {
+        let mut t = Timeline::new();
+        t.allocate_one(iv(2, 5)).unwrap();
+        t.allocate_one(iv(8, 10)).unwrap();
+        assert!(t.is_free(&iv(5, 8)));
+        assert!(!t.is_free(&iv(4, 6)));
+        assert_eq!(t.busy_len_within(&iv(0, 10)), 5);
+        assert_eq!(t.idle_len_within(&iv(0, 10)), 5);
+        assert_eq!(
+            t.idle_within(&iv(0, 12)),
+            SegmentSet::from_intervals([iv(0, 2), iv(5, 8), iv(10, 12)])
+        );
+    }
+
+    #[test]
+    fn allocate_rejects_double_booking() {
+        let mut t = Timeline::new();
+        t.allocate_one(iv(0, 5)).unwrap();
+        assert_eq!(t.allocate_one(iv(4, 6)), Err(iv(4, 6)));
+        // Timeline unchanged by the failed allocation.
+        assert_eq!(t.busy(), &SegmentSet::from_intervals([iv(0, 5)]));
+        // Touching is fine.
+        t.allocate_one(iv(5, 6)).unwrap();
+    }
+
+    #[test]
+    fn allocate_set_is_atomic() {
+        let mut t = Timeline::new();
+        t.allocate_one(iv(10, 12)).unwrap();
+        let bad = SegmentSet::from_intervals([iv(0, 2), iv(11, 13)]);
+        assert!(t.allocate(&bad).is_err());
+        // Nothing from the failed batch leaked in.
+        assert_eq!(t.busy(), &SegmentSet::from_intervals([iv(10, 12)]));
+    }
+
+    #[test]
+    fn fill_leftmost_spreads_work() {
+        let mut t = Timeline::new();
+        let idle = [iv(0, 3), iv(5, 7), iv(9, 20)];
+        let placed = t.fill_leftmost(&idle, 7).unwrap();
+        assert_eq!(
+            placed,
+            SegmentSet::from_intervals([iv(0, 3), iv(5, 7), iv(9, 11)])
+        );
+        assert_eq!(placed.total_len(), 7);
+        assert_eq!(t.busy(), &placed);
+    }
+
+    #[test]
+    fn fill_leftmost_exact_fit_uses_all() {
+        let mut t = Timeline::new();
+        let placed = t.fill_leftmost(&[iv(0, 3), iv(5, 7)], 5).unwrap();
+        assert_eq!(placed.total_len(), 5);
+        assert_eq!(placed.count(), 2);
+    }
+
+    #[test]
+    fn fill_leftmost_insufficient_leaves_timeline_untouched() {
+        let mut t = Timeline::new();
+        assert!(t.fill_leftmost(&[iv(0, 3)], 4).is_none());
+        assert!(t.busy().is_empty());
+    }
+
+    #[test]
+    fn fill_leftmost_single_segment_partial() {
+        let mut t = Timeline::new();
+        let placed = t.fill_leftmost(&[iv(4, 100)], 6).unwrap();
+        assert_eq!(placed, SegmentSet::from_intervals([iv(4, 10)]));
+    }
+}

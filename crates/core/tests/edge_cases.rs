@@ -1,0 +1,121 @@
+//! Edge-case suite for the core data model.
+
+use pobp_core::*;
+
+#[test]
+fn timeline_exact_fit_and_refill() {
+    let mut t = Timeline::new();
+    let idle = [Interval::new(0, 5)];
+    let placed = t.fill_leftmost(&idle, 5).unwrap();
+    assert_eq!(placed, SegmentSet::singleton(Interval::new(0, 5)));
+    // Nothing left.
+    assert!(t.idle_within(&Interval::new(0, 5)).is_empty());
+    assert!(t.fill_leftmost(&[Interval::new(5, 6)], 2).is_none());
+    t.allocate_one(Interval::new(7, 9)).unwrap();
+    assert_eq!(t.idle_len_within(&Interval::new(0, 10)), 3);
+}
+
+#[test]
+fn schedule_value_with_duplicated_assign_overwrites() {
+    let jobs: JobSet = vec![Job::new(0, 10, 2, 4.0)].into_iter().collect();
+    let mut s = Schedule::new();
+    s.assign_single(JobId(0), SegmentSet::singleton(Interval::new(0, 2)));
+    s.assign_single(JobId(0), SegmentSet::singleton(Interval::new(5, 7)));
+    assert_eq!(s.len(), 1);
+    assert_eq!(
+        s.segments(JobId(0)).unwrap().segments(),
+        &[Interval::new(5, 7)]
+    );
+    assert_eq!(s.value(&jobs), 4.0);
+}
+
+#[test]
+fn stats_on_fully_rejected_set() {
+    let jobs: JobSet = vec![Job::new(0, 10, 2, 4.0), Job::new(0, 10, 2, 6.0)]
+        .into_iter()
+        .collect();
+    let st = schedule_stats(&jobs, &Schedule::new());
+    assert_eq!(st.rejected, 2);
+    assert_eq!(st.value_fraction, 0.0);
+    assert!(st.machine_busy.is_empty());
+}
+
+#[test]
+fn window_load_boundaries() {
+    let mut s = Schedule::new();
+    s.assign_single(JobId(0), SegmentSet::singleton(Interval::new(0, 4)));
+    // Exact cover, empty window, disjoint window.
+    assert_eq!(window_load(&s, 0, &Interval::new(0, 4)), 1.0);
+    assert_eq!(window_load(&s, 0, &Interval::new(2, 2)), 0.0);
+    assert_eq!(window_load(&s, 0, &Interval::new(4, 8)), 0.0);
+    // Half covered.
+    assert_eq!(window_load(&s, 0, &Interval::new(2, 6)), 0.5);
+}
+
+#[test]
+fn jobset_subset_empty_and_full() {
+    let js: JobSet = vec![Job::new(0, 5, 1, 1.0), Job::new(0, 5, 2, 2.0)]
+        .into_iter()
+        .collect();
+    let (empty, back) = js.subset(&[]);
+    assert!(empty.is_empty() && back.is_empty());
+    let all: Vec<JobId> = js.ids().collect();
+    let (full, back) = js.subset(&all);
+    assert_eq!(full, js);
+    assert_eq!(back, all);
+    // Duplicated ids produce a multiset (documented: re-indexed copies).
+    let (dup, _) = js.subset(&[JobId(1), JobId(1)]);
+    assert_eq!(dup.len(), 2);
+    assert_eq!(dup.total_value(), 4.0);
+}
+
+#[test]
+fn segment_set_single_point_universe() {
+    let s = SegmentSet::singleton(Interval::new(7, 8));
+    assert_eq!(s.total_len(), 1);
+    assert!(s.contains_point(7));
+    assert!(!s.contains_point(8));
+    assert_eq!(s.complement_within(&Interval::new(7, 8)), SegmentSet::new());
+    assert_eq!(
+        s.complement_within(&Interval::new(6, 9)),
+        SegmentSet::from_intervals([Interval::new(6, 7), Interval::new(8, 9)])
+    );
+}
+
+#[test]
+fn interval_min_max_extremes() {
+    // Construction near the numeric extremes must not overflow in length.
+    let a = Interval::new(i64::MIN / 4, i64::MAX / 4);
+    assert!(a.len() > 0);
+    assert!(a.contains_point(0));
+    let s = SegmentSet::singleton(a);
+    assert_eq!(s.total_len(), a.len());
+}
+
+#[test]
+fn verify_allows_unbounded_segments_when_k_none() {
+    let jobs: JobSet = vec![Job::new(0, 100, 10, 1.0)].into_iter().collect();
+    let pieces: Vec<Interval> = (0..10).map(|i| Interval::new(2 * i, 2 * i + 1)).collect();
+    let mut s = Schedule::new();
+    s.assign_single(JobId(0), SegmentSet::from_intervals(pieces));
+    assert_eq!(s.preemptions(JobId(0)), 9);
+    s.verify(&jobs, None).unwrap();
+    assert!(s.verify(&jobs, Some(8)).is_err());
+    s.verify(&jobs, Some(9)).unwrap();
+}
+
+#[test]
+fn render_text_and_svg_agree_on_rows() {
+    let jobs: JobSet = vec![Job::new(0, 10, 3, 1.0), Job::new(0, 12, 3, 1.0)]
+        .into_iter()
+        .collect();
+    let mut s = Schedule::new();
+    s.assign(JobId(0), 0, SegmentSet::singleton(Interval::new(0, 3)));
+    s.assign(JobId(1), 1, SegmentSet::singleton(Interval::new(0, 3)));
+    let text = render_gantt(&jobs, &s, RenderOptions::default());
+    let svg = render_svg(&jobs, &s, SvgOptions::default());
+    for label in ["m0 j0", "m1 j1"] {
+        assert!(text.contains(label), "text missing {label}");
+        assert!(svg.contains(label), "svg missing {label}");
+    }
+}

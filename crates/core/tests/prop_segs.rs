@@ -1,0 +1,139 @@
+//! Property tests for the `SegmentSet` algebra, validated against a naive
+//! per-tick bitmap model over a small universe.
+
+use pobp_core::{Interval, SegmentSet, Time};
+use proptest::prelude::*;
+
+const UNIVERSE: Time = 64;
+
+/// Naive model: which ticks of `0..UNIVERSE` are covered.
+fn model(s: &SegmentSet) -> Vec<bool> {
+    (0..UNIVERSE).map(|t| s.contains_point(t)).collect()
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+fn arb_set() -> impl Strategy<Value = SegmentSet> {
+    proptest::collection::vec(arb_interval(), 0..12).prop_map(SegmentSet::from_intervals)
+}
+
+fn assert_normal_form(s: &SegmentSet) {
+    for seg in s.iter() {
+        assert!(!seg.is_empty(), "empty segment in normal form: {s:?}");
+    }
+    for pair in s.segments().windows(2) {
+        assert!(
+            pair[0].end < pair[1].start,
+            "segments not sorted/disjoint/non-touching: {s:?}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn construction_matches_model(ivs in proptest::collection::vec(arb_interval(), 0..12)) {
+        let s = SegmentSet::from_intervals(ivs.clone());
+        assert_normal_form(&s);
+        for t in 0..UNIVERSE {
+            let expect = ivs.iter().any(|iv| iv.contains_point(t));
+            prop_assert_eq!(s.contains_point(t), expect, "tick {}", t);
+        }
+        // Total length is the number of covered ticks.
+        prop_assert_eq!(s.total_len(), model(&s).iter().filter(|&&b| b).count() as Time);
+    }
+
+    #[test]
+    fn union_matches_model(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        assert_normal_form(&u);
+        for t in 0..UNIVERSE {
+            prop_assert_eq!(u.contains_point(t), a.contains_point(t) || b.contains_point(t));
+        }
+        // Commutativity.
+        prop_assert_eq!(&u, &b.union(&a));
+    }
+
+    #[test]
+    fn intersection_matches_model(a in arb_set(), b in arb_set()) {
+        let i = a.intersect_set(&b);
+        assert_normal_form(&i);
+        for t in 0..UNIVERSE {
+            prop_assert_eq!(i.contains_point(t), a.contains_point(t) && b.contains_point(t));
+        }
+        prop_assert_eq!(a.intersects_set(&b), !i.is_empty());
+        prop_assert_eq!(&i, &b.intersect_set(&a));
+    }
+
+    #[test]
+    fn subtraction_matches_model(a in arb_set(), b in arb_set()) {
+        let d = a.subtract(&b);
+        assert_normal_form(&d);
+        for t in 0..UNIVERSE {
+            prop_assert_eq!(d.contains_point(t), a.contains_point(t) && !b.contains_point(t));
+        }
+    }
+
+    #[test]
+    fn complement_partitions_window(a in arb_set(), w in arb_interval()) {
+        prop_assume!(!w.is_empty());
+        let idle = a.complement_within(&w);
+        assert_normal_form(&idle);
+        let busy_in_w = a.clip(&w);
+        // Complement and clip partition the window exactly.
+        prop_assert_eq!(idle.total_len() + busy_in_w.total_len(), w.len());
+        prop_assert!(!idle.intersects_set(&busy_in_w));
+        prop_assert_eq!(idle.union(&busy_in_w), SegmentSet::singleton(w));
+    }
+
+    #[test]
+    fn insert_equals_union_singleton(a in arb_set(), iv in arb_interval()) {
+        let mut ins = a.clone();
+        ins.insert(iv);
+        assert_normal_form(&ins);
+        prop_assert_eq!(ins, a.union(&SegmentSet::singleton(iv)));
+    }
+
+    #[test]
+    fn remove_equals_subtract_singleton(a in arb_set(), iv in arb_interval()) {
+        let mut rem = a.clone();
+        rem.remove(iv);
+        prop_assert_eq!(rem, a.subtract(&SegmentSet::singleton(iv)));
+    }
+
+    #[test]
+    fn clip_is_intersection_with_window(a in arb_set(), w in arb_interval()) {
+        prop_assert_eq!(a.clip(&w), a.intersect_set(&SegmentSet::singleton(w)));
+    }
+
+    #[test]
+    fn covers_iff_subtract_empty(a in arb_set(), iv in arb_interval()) {
+        prop_assert_eq!(
+            a.covers(&iv),
+            SegmentSet::singleton(iv).subtract(&a).is_empty()
+        );
+    }
+
+    #[test]
+    fn leftmost_fit_is_leftmost_and_fits(a in arb_set(), len in 1..16i64, from in 0..UNIVERSE) {
+        match a.leftmost_fit(len, from) {
+            Some(slot) => {
+                prop_assert_eq!(slot.len(), len);
+                prop_assert!(slot.start >= from);
+                prop_assert!(a.covers(&slot));
+                // No earlier start would fit inside the covered set.
+                for s in (from..slot.start).rev() {
+                    let cand = Interval::with_len(s, len);
+                    prop_assert!(!a.covers(&cand));
+                }
+            }
+            None => {
+                for s in from..UNIVERSE {
+                    let cand = Interval::with_len(s, len);
+                    prop_assert!(!a.covers(&cand));
+                }
+            }
+        }
+    }
+}

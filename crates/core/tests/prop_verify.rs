@@ -1,0 +1,140 @@
+//! Mutation testing of the Definition 2.1 checker: start from a schedule
+//! that is feasible *by construction*, corrupt it in a targeted way, and
+//! require `Schedule::verify` to reject the corruption.
+
+use pobp_core::{Interval, Job, JobId, JobSet, Schedule, SegmentSet};
+use proptest::prelude::*;
+
+/// Builds a feasible-by-construction instance: jobs laid out back to back,
+/// each split into `1..=3` touching-or-separated segments inside a window
+/// with slack.
+fn arb_feasible() -> impl Strategy<Value = (JobSet, Schedule)> {
+    proptest::collection::vec((1i64..8, 0i64..4, 1u32..4), 1..8).prop_map(|specs| {
+        let mut jobs = JobSet::new();
+        let mut schedule = Schedule::new();
+        let mut t = 0i64;
+        for (i, (p, gap, pieces)) in specs.into_iter().enumerate() {
+            let start = t + gap;
+            // Split p into `pieces` chunks with 1-tick gaps between them.
+            let pieces = pieces.min(p as u32);
+            let base = p / pieces as i64;
+            let mut rest = p - base * pieces as i64;
+            let mut ivs = Vec::new();
+            let mut cur = start;
+            for _ in 0..pieces {
+                let len = base + if rest > 0 { 1 } else { 0 };
+                rest = (rest - 1).max(0);
+                ivs.push(Interval::with_len(cur, len));
+                cur += len + 1; // 1 idle tick between pieces
+            }
+            let end = cur; // last piece end + 1
+            let release = start;
+            let deadline = end + 2; // slack
+            jobs.push(Job::new(release, deadline, p, (i + 1) as f64));
+            schedule.assign_single(JobId(i), SegmentSet::from_intervals(ivs));
+            t = end;
+        }
+        (jobs, schedule)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn constructed_schedules_verify((jobs, schedule) in arb_feasible()) {
+        schedule.verify(&jobs, None).unwrap();
+    }
+
+    #[test]
+    fn shifting_before_release_is_caught((jobs, schedule) in arb_feasible()) {
+        // Move the first segment of some job 1 tick before its release.
+        let victim = schedule.scheduled_ids().next().unwrap();
+        let segs = schedule.segments(victim).unwrap().clone();
+        let first = segs.segments()[0];
+        let mut moved: Vec<Interval> = segs.iter().copied().collect();
+        moved[0] = Interval::new(first.start - 1, first.end);
+        let mut bad = schedule.clone();
+        bad.assign_single(victim, SegmentSet::from_intervals(moved));
+        // Either the window check or the length check must fire (the shift
+        // may also change total length if it merges with nothing — it adds
+        // one tick, so WrongLength or OutsideWindow).
+        prop_assert!(bad.verify(&jobs, None).is_err());
+    }
+
+    #[test]
+    fn truncating_work_is_caught((jobs, schedule) in arb_feasible()) {
+        let victim = schedule.scheduled_ids().last().unwrap();
+        let segs = schedule.segments(victim).unwrap().clone();
+        let last = *segs.segments().last().unwrap();
+        let mut bad = schedule.clone();
+        if last.len() == 1 && segs.count() == 1 {
+            // Removing the only tick removes the job — that's legal
+            // (rejection); instead extend it to break the length upward.
+            let mut moved: Vec<Interval> = segs.iter().copied().collect();
+            moved[0] = Interval::new(last.start, last.end + 1);
+            bad.assign_single(victim, SegmentSet::from_intervals(moved));
+        } else {
+            let mut moved: Vec<Interval> = segs.iter().copied().collect();
+            let l = moved.len() - 1;
+            moved[l] = Interval::new(last.start, last.end - 1);
+            bad.assign_single(victim, SegmentSet::from_intervals(moved));
+        }
+        let caught = matches!(
+            bad.verify(&jobs, None),
+            Err(pobp_core::Infeasibility::WrongLength { .. })
+                | Err(pobp_core::Infeasibility::OutsideWindow { .. })
+        );
+        prop_assert!(caught);
+    }
+
+    #[test]
+    fn duplicating_work_onto_other_job_is_caught((jobs, schedule) in arb_feasible()) {
+        prop_assume!(schedule.len() >= 2);
+        // Give job B an extra segment overlapping job A's first segment,
+        // preserving B's total length by trimming its own first segment —
+        // must trip Overlap (or WrongLength if trimming degenerates).
+        let ids: Vec<JobId> = schedule.scheduled_ids().collect();
+        let (a, b) = (ids[0], ids[1]);
+        let a_first = schedule.segments(a).unwrap().segments()[0];
+        let b_segs = schedule.segments(b).unwrap().clone();
+        let b_first = b_segs.segments()[0];
+        prop_assume!(b_first.len() >= a_first.len());
+        let mut moved: Vec<Interval> = b_segs.iter().copied().collect();
+        moved[0] = Interval::new(b_first.start + a_first.len(), b_first.end);
+        moved.push(a_first);
+        let mut bad = schedule.clone();
+        bad.assign_single(b, SegmentSet::from_intervals(moved));
+        let err = bad.verify(&jobs, None);
+        prop_assert!(err.is_err(), "overlap not caught");
+    }
+
+    #[test]
+    fn preemption_bound_is_exact((jobs, schedule) in arb_feasible()) {
+        let worst = schedule
+            .scheduled_ids()
+            .map(|j| schedule.preemptions(j))
+            .max()
+            .unwrap_or(0) as u32;
+        // Verifies at the exact bound, fails just below it (when positive).
+        schedule.verify(&jobs, Some(worst)).unwrap();
+        if worst > 0 {
+            let caught = matches!(
+                schedule.verify(&jobs, Some(worst - 1)),
+                Err(pobp_core::Infeasibility::TooManyPreemptions { .. })
+            );
+            prop_assert!(caught);
+        }
+    }
+
+    #[test]
+    fn moving_job_to_other_machine_keeps_feasibility((jobs, schedule) in arb_feasible()) {
+        // Non-migrative model: moving one whole job to a fresh machine can
+        // never break anything.
+        let victim = schedule.scheduled_ids().next().unwrap();
+        let segs = schedule.segments(victim).unwrap().clone();
+        let mut moved = schedule.clone();
+        moved.assign(victim, 7, segs);
+        moved.verify(&jobs, None).unwrap();
+    }
+}

@@ -1,0 +1,413 @@
+//! Index-arena rose forests.
+//!
+//! All k-BAS algorithms (§3 of the paper) operate on node-valued forests.
+//! The arena representation (indices instead of boxes) gives O(1) parent and
+//! child access, cheap per-node side tables (`Vec<T>` indexed by `NodeId`),
+//! and — critically — *iterative* traversals that survive the million-node,
+//! depth-10^6 path graphs used in the loss-factor experiments, where a
+//! recursive walk would overflow the stack.
+
+use pobp_core::Value;
+
+/// Identifier of a node inside a [`Forest`] (its index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A rooted forest with positive node values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Forest {
+    values: Vec<Value>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    roots: Vec<NodeId>,
+}
+
+impl Forest {
+    /// The empty forest.
+    pub fn new() -> Self {
+        Forest::default()
+    }
+
+    /// Adds a new tree root with the given value, returning its id.
+    ///
+    /// # Panics
+    /// Panics if `value` is not strictly positive (Definition 3.3 assumes
+    /// `val : V → R+`).
+    pub fn add_root(&mut self, value: Value) -> NodeId {
+        assert!(value > 0.0, "node values must be positive, got {value}");
+        let id = NodeId(self.values.len());
+        self.values.push(value);
+        self.parent.push(None);
+        self.children.push(Vec::new());
+        self.roots.push(id);
+        id
+    }
+
+    /// Adds a child of `parent` with the given value, returning its id.
+    ///
+    /// # Panics
+    /// Panics on a non-positive value or an out-of-range parent.
+    pub fn add_child(&mut self, parent: NodeId, value: Value) -> NodeId {
+        assert!(value > 0.0, "node values must be positive, got {value}");
+        assert!(parent.0 < self.values.len(), "unknown parent {parent}");
+        let id = NodeId(self.values.len());
+        self.values.push(value);
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.children[parent.0].push(id);
+        id
+    }
+
+    /// Builds a forest from parallel `values` / `parent` arrays
+    /// (`parent[i] = None` for roots). Children keep index order.
+    ///
+    /// # Panics
+    /// Panics on non-positive values, out-of-range parents, or cycles.
+    pub fn from_parents(values: Vec<Value>, parent: Vec<Option<usize>>) -> Self {
+        assert_eq!(values.len(), parent.len());
+        let n = values.len();
+        for &v in &values {
+            assert!(v > 0.0, "node values must be positive, got {v}");
+        }
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (i, &p) in parent.iter().enumerate() {
+            match p {
+                Some(p) => {
+                    assert!(p < n, "parent index {p} out of range");
+                    children[p].push(NodeId(i));
+                }
+                None => roots.push(NodeId(i)),
+            }
+        }
+        let forest = Forest {
+            values,
+            parent: parent.iter().map(|p| p.map(NodeId)).collect(),
+            children,
+            roots,
+        };
+        assert!(
+            forest.is_acyclic(),
+            "parent array contains a cycle (not a forest)"
+        );
+        forest
+    }
+
+    fn is_acyclic(&self) -> bool {
+        // Every node must be reachable from a root; a cycle is unreachable.
+        let mut seen = vec![false; self.len()];
+        let mut count = 0usize;
+        let mut stack: Vec<NodeId> = self.roots.clone();
+        while let Some(u) = stack.pop() {
+            if std::mem::replace(&mut seen[u.0], true) {
+                return false; // duplicate child edge
+            }
+            count += 1;
+            stack.extend(self.children[u.0].iter().copied());
+        }
+        count == self.len()
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the forest has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of node `u`.
+    #[inline]
+    pub fn value(&self, u: NodeId) -> Value {
+        self.values[u.0]
+    }
+
+    /// The parent of `u`, or `None` for roots.
+    #[inline]
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        self.parent[u.0]
+    }
+
+    /// The children of `u`, in insertion order (`C_T(u)` of §3.1).
+    #[inline]
+    pub fn children(&self, u: NodeId) -> &[NodeId] {
+        &self.children[u.0]
+    }
+
+    /// Degree of `u`: its number of children (`deg_T(u)` of §3.1).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.children[u.0].len()
+    }
+
+    /// Whether `u` has no children.
+    #[inline]
+    pub fn is_leaf(&self, u: NodeId) -> bool {
+        self.children[u.0].is_empty()
+    }
+
+    /// The roots of the forest, in insertion order.
+    #[inline]
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// All node ids, ascending.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone + use<> {
+        (0..self.values.len()).map(NodeId)
+    }
+
+    /// Total value `val(V)` of the forest.
+    pub fn total_value(&self) -> Value {
+        self.values.iter().sum()
+    }
+
+    /// Total value of a node subset given as a membership mask.
+    pub fn masked_value(&self, keep: &[bool]) -> Value {
+        debug_assert_eq!(keep.len(), self.len());
+        self.values
+            .iter()
+            .zip(keep)
+            .filter_map(|(v, &k)| k.then_some(*v))
+            .sum()
+    }
+
+    /// Node ids in a *top-down* order: every node appears after its parent.
+    ///
+    /// Iterative (no recursion) — safe on path graphs of arbitrary depth.
+    pub fn top_down_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack: Vec<NodeId> = self.roots.iter().rev().copied().collect();
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            stack.extend(self.children[u.0].iter().rev().copied());
+        }
+        debug_assert_eq!(order.len(), self.len());
+        order
+    }
+
+    /// Node ids in a *bottom-up* order: every node appears after all its
+    /// children — the traversal order of procedure `TM` and `MaxContract`.
+    pub fn bottom_up_order(&self) -> Vec<NodeId> {
+        let mut order = self.top_down_order();
+        order.reverse();
+        order
+    }
+
+    /// Depth of every node (roots have depth 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.len()];
+        for u in self.top_down_order() {
+            if let Some(p) = self.parent(u) {
+                depth[u.0] = depth[p.0] + 1;
+            }
+        }
+        depth
+    }
+
+    /// Number of nodes in the subtree `T(u)` of every node `u`.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.len()];
+        for u in self.bottom_up_order() {
+            for &c in self.children(u) {
+                size[u.0] += size[c.0];
+            }
+        }
+        size
+    }
+
+    /// Total value of the subtree `T(u)` of every node `u`.
+    pub fn subtree_values(&self) -> Vec<Value> {
+        let mut val = self.values.clone();
+        for u in self.bottom_up_order() {
+            for &c in self.children(u) {
+                val[u.0] += val[c.0];
+            }
+        }
+        val
+    }
+
+    /// Whether `anc` is a proper ancestor of `node`.
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = self.parent(node);
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Number of leaves of the forest.
+    pub fn leaf_count(&self) -> usize {
+        self.ids().filter(|&u| self.is_leaf(u)).count()
+    }
+
+    /// The maximal node degree.
+    pub fn max_degree(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the tree
+    /// ```text
+    ///        r(10)
+    ///       /     \
+    ///    a(5)     b(3)
+    ///    /  \
+    /// c(2)  d(1)
+    /// ```
+    fn sample() -> (Forest, [NodeId; 5]) {
+        let mut f = Forest::new();
+        let r = f.add_root(10.0);
+        let a = f.add_child(r, 5.0);
+        let b = f.add_child(r, 3.0);
+        let c = f.add_child(a, 2.0);
+        let d = f.add_child(a, 1.0);
+        (f, [r, a, b, c, d])
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let (f, [r, a, b, c, d]) = sample();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.roots(), &[r]);
+        assert_eq!(f.children(r), &[a, b]);
+        assert_eq!(f.children(a), &[c, d]);
+        assert_eq!(f.degree(r), 2);
+        assert_eq!(f.degree(c), 0);
+        assert!(f.is_leaf(b));
+        assert!(!f.is_leaf(a));
+        assert_eq!(f.parent(c), Some(a));
+        assert_eq!(f.parent(r), None);
+        assert_eq!(f.total_value(), 21.0);
+        assert_eq!(f.max_degree(), 2);
+        assert_eq!(f.leaf_count(), 3);
+    }
+
+    #[test]
+    fn from_parents_roundtrip() {
+        let (f, _) = sample();
+        let parents: Vec<Option<usize>> =
+            f.ids().map(|u| f.parent(u).map(|p| p.0)).collect();
+        let values: Vec<f64> = f.ids().map(|u| f.value(u)).collect();
+        let g = Forest::from_parents(values, parents);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn from_parents_rejects_cycle() {
+        let _ = Forest::from_parents(vec![1.0, 1.0], vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_value() {
+        let mut f = Forest::new();
+        f.add_root(0.0);
+    }
+
+    #[test]
+    fn orders_respect_parenthood() {
+        let (f, _) = sample();
+        let td = f.top_down_order();
+        assert_eq!(td.len(), 5);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, u) in td.iter().enumerate() {
+                p[u.0] = i;
+            }
+            p
+        };
+        for u in f.ids() {
+            if let Some(par) = f.parent(u) {
+                assert!(pos[par.0] < pos[u.0], "parent after child in top-down");
+            }
+        }
+        let bu = f.bottom_up_order();
+        for (i, u) in bu.iter().enumerate() {
+            for &c in f.children(*u) {
+                assert!(bu[..i].contains(&c), "child after parent in bottom-up");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // A path of 200k nodes; recursive traversal would blow the stack.
+        let mut f = Forest::new();
+        let mut cur = f.add_root(1.0);
+        for _ in 0..200_000 {
+            cur = f.add_child(cur, 1.0);
+        }
+        assert_eq!(f.bottom_up_order().len(), 200_001);
+        let depths = f.depths();
+        assert_eq!(depths[cur.0], 200_000);
+        let sizes = f.subtree_sizes();
+        assert_eq!(sizes[f.roots()[0].0], 200_001);
+    }
+
+    #[test]
+    fn subtree_aggregates() {
+        let (f, [r, a, b, c, d]) = sample();
+        let sizes = f.subtree_sizes();
+        assert_eq!(sizes[r.0], 5);
+        assert_eq!(sizes[a.0], 3);
+        assert_eq!(sizes[b.0], 1);
+        let vals = f.subtree_values();
+        assert_eq!(vals[r.0], 21.0);
+        assert_eq!(vals[a.0], 8.0);
+        assert_eq!(vals[c.0], 2.0);
+        let _ = d;
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let (f, [r, a, b, c, _d]) = sample();
+        assert!(f.is_ancestor(r, c));
+        assert!(f.is_ancestor(a, c));
+        assert!(!f.is_ancestor(b, c));
+        assert!(!f.is_ancestor(c, a));
+        assert!(!f.is_ancestor(r, r), "proper ancestry only");
+    }
+
+    #[test]
+    fn masked_value_sums_kept() {
+        let (f, _) = sample();
+        assert_eq!(f.masked_value(&[true, false, true, false, false]), 13.0);
+        assert_eq!(f.masked_value(&[false; 5]), 0.0);
+    }
+
+    #[test]
+    fn multi_root_forest() {
+        let mut f = Forest::new();
+        let r1 = f.add_root(1.0);
+        let r2 = f.add_root(2.0);
+        f.add_child(r2, 3.0);
+        assert_eq!(f.roots(), &[r1, r2]);
+        assert_eq!(f.total_value(), 6.0);
+        assert_eq!(f.top_down_order()[0], r1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Exact exponential k-BAS search — the test oracle for `TM`.
+
+use crate::arena::Forest;
+use crate::kbas::{is_kbas, KeepSet};
+use pobp_core::Value;
+
+/// Maximum forest size accepted by [`brute_force_kbas`] (2^n subsets).
+pub const BRUTE_FORCE_LIMIT: usize = 20;
+
+/// Finds the maximal-value k-BAS by enumerating all `2^n` node subsets.
+///
+/// # Panics
+/// Panics when `forest.len() > BRUTE_FORCE_LIMIT`.
+pub fn brute_force_kbas(forest: &Forest, k: u32) -> (Value, KeepSet) {
+    let n = forest.len();
+    assert!(
+        n <= BRUTE_FORCE_LIMIT,
+        "brute force limited to {BRUTE_FORCE_LIMIT} nodes, got {n}"
+    );
+    let mut best_value = 0.0f64;
+    let mut best = KeepSet::empty(n);
+    for mask in 0u32..(1u32 << n) {
+        let keep = KeepSet::from_mask((0..n).map(|i| mask >> i & 1 == 1).collect());
+        if !is_kbas(forest, &keep, k) {
+            continue;
+        }
+        let value = keep.value(forest);
+        if value > best_value {
+            best_value = value;
+            best = keep;
+        }
+    }
+    (best_value, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tm::tm;
+
+    #[test]
+    fn brute_force_matches_tm_on_small_trees() {
+        // Hand-built tree exercising all pruning decisions.
+        let mut f = Forest::new();
+        let r = f.add_root(1.0);
+        let a = f.add_child(r, 6.0);
+        let b = f.add_child(r, 2.0);
+        f.add_child(a, 3.0);
+        f.add_child(a, 3.0);
+        f.add_child(a, 3.0);
+        f.add_child(b, 9.0);
+        for k in 0..4 {
+            let (bf, _) = brute_force_kbas(&f, k);
+            let res = tm(&f, k);
+            assert_eq!(bf, res.value, "k={k}");
+        }
+    }
+
+    #[test]
+    fn empty_forest_yields_zero() {
+        let (v, keep) = brute_force_kbas(&Forest::new(), 1);
+        assert_eq!(v, 0.0);
+        assert!(keep.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn rejects_large_forests() {
+        let mut f = Forest::new();
+        for _ in 0..=BRUTE_FORCE_LIMIT {
+            f.add_root(1.0);
+        }
+        let _ = brute_force_kbas(&f, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Materializing a k-BAS as a stand-alone [`Forest`], plus a greedy
+//! heuristic baseline for the ablation benches.
+
+use crate::arena::{Forest, NodeId};
+use crate::kbas::{is_kbas, KeepSet};
+use pobp_core::Value;
+
+/// Extracts the sub-forest induced by `keep` as its own [`Forest`].
+///
+/// Kept nodes whose parent is kept stay attached; kept nodes whose parent is
+/// removed become roots of their components (this matches the AISF
+/// semantics: removed nodes never connect two kept nodes, which
+/// [`is_kbas`] guarantees for valid inputs). Returns the new forest and the
+/// mapping from new node ids to the original ones.
+pub fn extract_subforest(forest: &Forest, keep: &KeepSet) -> (Forest, Vec<NodeId>) {
+    let mut new_id: Vec<Option<NodeId>> = vec![None; forest.len()];
+    let mut out = Forest::new();
+    let mut back = Vec::new();
+    for u in forest.top_down_order() {
+        if !keep.contains(u) {
+            continue;
+        }
+        let parent_new = forest.parent(u).and_then(|p| new_id[p.0]);
+        let id = match parent_new {
+            Some(p) => out.add_child(p, forest.value(u)),
+            None => out.add_root(forest.value(u)),
+        };
+        new_id[u.0] = Some(id);
+        debug_assert_eq!(id.0, back.len());
+        back.push(u);
+    }
+    (out, back)
+}
+
+/// A greedy k-BAS heuristic (ablation baseline, not from the paper): visit
+/// nodes in descending value order and keep each node iff the keep-set
+/// stays a valid k-BAS. `O(n² )`-ish — only for moderate sizes.
+pub fn greedy_kbas(forest: &Forest, k: u32) -> (Value, KeepSet) {
+    let mut order: Vec<NodeId> = forest.ids().collect();
+    order.sort_by(|&a, &b| {
+        forest
+            .value(b)
+            .partial_cmp(&forest.value(a))
+            .expect("finite values")
+            .then(a.cmp(&b))
+    });
+    let mut keep = KeepSet::empty(forest.len());
+    for u in order {
+        keep.insert(u);
+        if !is_kbas(forest, &keep, k) {
+            // Undo: KeepSet has no remove; rebuild without u.
+            let ids: Vec<NodeId> = keep.ids().filter(|&v| v != u).collect();
+            keep = KeepSet::from_ids(forest.len(), &ids);
+        }
+    }
+    (keep.value(forest), keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tm::tm;
+
+    fn sample() -> (Forest, [NodeId; 5]) {
+        let mut f = Forest::new();
+        let r = f.add_root(10.0);
+        let a = f.add_child(r, 5.0);
+        let b = f.add_child(r, 3.0);
+        let c = f.add_child(a, 2.0);
+        let d = f.add_child(a, 1.0);
+        (f, [r, a, b, c, d])
+    }
+
+    #[test]
+    fn extract_connected_piece() {
+        let (f, [r, a, _b, c, _d]) = sample();
+        let keep = KeepSet::from_ids(f.len(), &[r, a, c]);
+        let (sub, back) = extract_subforest(&f, &keep);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.roots().len(), 1);
+        assert_eq!(back.len(), 3);
+        assert_eq!(sub.total_value(), 17.0);
+        // Structure preserved: r → a → c.
+        let new_root = sub.roots()[0];
+        assert_eq!(back[new_root.0], r);
+        assert_eq!(sub.children(new_root).len(), 1);
+    }
+
+    #[test]
+    fn extract_multiple_components() {
+        let (f, [_r, a, b, c, d]) = sample();
+        // Remove the root: a (with c, d) and b become separate components.
+        let keep = KeepSet::from_ids(f.len(), &[a, b, c, d]);
+        let (sub, _) = extract_subforest(&f, &keep);
+        assert_eq!(sub.roots().len(), 2);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.total_value(), 11.0);
+    }
+
+    #[test]
+    fn extract_empty() {
+        let (f, _) = sample();
+        let (sub, back) = extract_subforest(&f, &KeepSet::empty(f.len()));
+        assert!(sub.is_empty());
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn extracted_tm_result_has_bounded_degree() {
+        let (f, _) = sample();
+        for k in 0..3u32 {
+            let res = tm(&f, k);
+            let (sub, _) = extract_subforest(&f, &res.keep);
+            assert!(sub.max_degree() <= k as usize, "k={k}");
+            assert_eq!(sub.total_value(), res.value);
+        }
+    }
+
+    #[test]
+    fn greedy_is_valid_but_tm_dominates() {
+        let (f, _) = sample();
+        for k in 0..3u32 {
+            let (gv, gk) = greedy_kbas(&f, k);
+            assert!(is_kbas(&f, &gk, k));
+            assert_eq!(gv, gk.value(&f));
+            let opt = tm(&f, k);
+            assert!(opt.value >= gv - 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal() {
+        // Center value 6 with three leaves of value 5: at k = 1 greedy
+        // takes the center first (6), then one leaf (11); optimal prunes
+        // the center up and takes all leaves (15).
+        let mut f = Forest::new();
+        let r = f.add_root(6.0);
+        for _ in 0..3 {
+            f.add_child(r, 5.0);
+        }
+        let (gv, _) = greedy_kbas(&f, 1);
+        let opt = tm(&f, 1);
+        assert_eq!(gv, 11.0);
+        assert_eq!(opt.value, 15.0);
+    }
+}

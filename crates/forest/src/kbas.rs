@@ -1,0 +1,259 @@
+//! The k-BAS definitions of §3.1 as executable predicates, plus the node
+//! classification of §3.2.
+
+use crate::arena::{Forest, NodeId};
+use pobp_core::Value;
+
+/// The three-way classification of §3.2 used by the `TM` dynamic program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeClass {
+    /// Kept in the k-BAS (some descendants may still be deleted).
+    Retained,
+    /// Deleted together with all its ancestors up to the root
+    /// (preserves ancestor independence).
+    PrunedUp,
+    /// Deleted together with all its descendants.
+    PrunedDown,
+}
+
+/// A candidate k-BAS: a keep-mask over the nodes of a forest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KeepSet {
+    keep: Vec<bool>,
+}
+
+impl KeepSet {
+    /// Builds a keep-set from a mask (`mask.len()` must equal the forest size
+    /// when used with one).
+    pub fn from_mask(mask: Vec<bool>) -> Self {
+        KeepSet { keep: mask }
+    }
+
+    /// Builds a keep-set of `n` nodes from the kept ids.
+    pub fn from_ids(n: usize, ids: &[NodeId]) -> Self {
+        let mut keep = vec![false; n];
+        for id in ids {
+            keep[id.0] = true;
+        }
+        KeepSet { keep }
+    }
+
+    /// An all-false keep-set for `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        KeepSet { keep: vec![false; n] }
+    }
+
+    /// Whether node `u` is kept.
+    #[inline]
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.keep[u.0]
+    }
+
+    /// The underlying mask.
+    pub fn mask(&self) -> &[bool] {
+        &self.keep
+    }
+
+    /// Marks `u` kept.
+    pub fn insert(&mut self, u: NodeId) {
+        self.keep[u.0] = true;
+    }
+
+    /// Number of kept nodes.
+    pub fn len(&self) -> usize {
+        self.keep.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether nothing is kept.
+    pub fn is_empty(&self) -> bool {
+        !self.keep.iter().any(|&b| b)
+    }
+
+    /// The kept node ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(NodeId(i)))
+    }
+
+    /// Total value of the kept nodes.
+    pub fn value(&self, forest: &Forest) -> Value {
+        forest.masked_value(&self.keep)
+    }
+}
+
+/// Whether the keep-set induces an Ancestor-Independent Sub-Forest
+/// (Definition 3.1).
+///
+/// By Lemma 3.7, the induced sub-forest is ancestor-independent iff no
+/// *removed* node has both a kept ancestor and a kept descendant. This is
+/// checked in two linear passes.
+pub fn is_ancestor_independent(forest: &Forest, keep: &KeepSet) -> bool {
+    debug_assert_eq!(keep.mask().len(), forest.len());
+    let n = forest.len();
+    let mut kept_anc = vec![false; n]; // has a kept proper ancestor
+    for u in forest.top_down_order() {
+        if let Some(p) = forest.parent(u) {
+            kept_anc[u.0] = kept_anc[p.0] || keep.contains(p);
+        }
+    }
+    let mut kept_desc = vec![false; n]; // has a kept proper descendant
+    for u in forest.bottom_up_order() {
+        for &c in forest.children(u) {
+            kept_desc[u.0] |= kept_desc[c.0] || keep.contains(c);
+        }
+    }
+    forest
+        .ids()
+        .all(|u| keep.contains(u) || !(kept_anc[u.0] && kept_desc[u.0]))
+}
+
+/// Whether every kept node has at most `k` kept children
+/// (the degree bound of Definition 3.2).
+pub fn is_k_bounded(forest: &Forest, keep: &KeepSet, k: u32) -> bool {
+    debug_assert_eq!(keep.mask().len(), forest.len());
+    forest.ids().filter(|&u| keep.contains(u)).all(|u| {
+        let kept_children = forest
+            .children(u)
+            .iter()
+            .filter(|&&c| keep.contains(c))
+            .count();
+        kept_children <= k as usize
+    })
+}
+
+/// Whether the keep-set is a valid k-BAS (Definition 3.2): an ancestor-
+/// independent sub-forest with degree bounded by `k`.
+pub fn is_kbas(forest: &Forest, keep: &KeepSet, k: u32) -> bool {
+    is_ancestor_independent(forest, keep) && is_k_bounded(forest, keep, k)
+}
+
+/// Derives the keep-set from a full classification
+/// (kept = [`NodeClass::Retained`]).
+pub fn keep_from_classes(classes: &[NodeClass]) -> KeepSet {
+    KeepSet::from_mask(classes.iter().map(|c| *c == NodeClass::Retained).collect())
+}
+
+/// Checks the structural constraints of Observation 3.8 on a classification:
+///
+/// * (a) a retained node has no pruned-up descendants (equivalently: a
+///   retained node's children are retained or pruned-down);
+/// * (c) a pruned-down node has only pruned-down descendants.
+pub fn classes_consistent(forest: &Forest, classes: &[NodeClass]) -> bool {
+    debug_assert_eq!(classes.len(), forest.len());
+    forest.ids().all(|u| {
+        forest.children(u).iter().all(|&c| match classes[u.0] {
+            NodeClass::Retained => classes[c.0] != NodeClass::PrunedUp,
+            NodeClass::PrunedUp => true,
+            NodeClass::PrunedDown => classes[c.0] == NodeClass::PrunedDown,
+        })
+    }) && forest.ids().all(|u| {
+        // A pruned-up node's ancestors must all be pruned-up (deleted up to
+        // the root).
+        classes[u.0] != NodeClass::PrunedUp
+            || forest.parent(u).is_none_or(|p| classes[p.0] == NodeClass::PrunedUp)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// r — a — c, r — b (values 1 each).
+    fn chain_forest() -> (Forest, [NodeId; 4]) {
+        let mut f = Forest::new();
+        let r = f.add_root(1.0);
+        let a = f.add_child(r, 1.0);
+        let b = f.add_child(r, 1.0);
+        let c = f.add_child(a, 1.0);
+        (f, [r, a, b, c])
+    }
+
+    #[test]
+    fn keepset_basics() {
+        let (f, [r, _a, b, _c]) = chain_forest();
+        let mut ks = KeepSet::empty(f.len());
+        assert!(ks.is_empty());
+        ks.insert(r);
+        ks.insert(b);
+        assert_eq!(ks.len(), 2);
+        assert!(ks.contains(r));
+        assert!(!ks.contains(NodeId(1)));
+        assert_eq!(ks.value(&f), 2.0);
+        assert_eq!(ks.ids().collect::<Vec<_>>(), vec![r, b]);
+        let ks2 = KeepSet::from_ids(f.len(), &[r, b]);
+        assert_eq!(ks, ks2);
+    }
+
+    #[test]
+    fn ancestor_independence_detects_gap() {
+        let (f, [r, a, _b, c]) = chain_forest();
+        // Keep r and c but remove a: removed `a` has kept ancestor r and
+        // kept descendant c → not ancestor independent.
+        let ks = KeepSet::from_ids(f.len(), &[r, c]);
+        assert!(!is_ancestor_independent(&f, &ks));
+        // Keep the full chain: fine.
+        let ks = KeepSet::from_ids(f.len(), &[r, a, c]);
+        assert!(is_ancestor_independent(&f, &ks));
+        // Keep only c (a and r removed below-nothing/above-kept): fine —
+        // r and a have no kept ancestor.
+        let ks = KeepSet::from_ids(f.len(), &[c]);
+        assert!(is_ancestor_independent(&f, &ks));
+    }
+
+    #[test]
+    fn two_components_in_sibling_subtrees_are_independent() {
+        let (f, [_r, a, b, c]) = chain_forest();
+        // Keep {a, c} and {b}: b is not a descendant/ancestor of a or c.
+        let ks = KeepSet::from_ids(f.len(), &[a, b, c]);
+        assert!(is_ancestor_independent(&f, &ks));
+    }
+
+    #[test]
+    fn degree_bound() {
+        let (f, [r, a, b, _c]) = chain_forest();
+        let ks = KeepSet::from_ids(f.len(), &[r, a, b]);
+        assert!(is_k_bounded(&f, &ks, 2));
+        assert!(!is_k_bounded(&f, &ks, 1)); // r keeps 2 children
+        // Removed nodes don't count toward their parent's degree.
+        let ks = KeepSet::from_ids(f.len(), &[r, a]);
+        assert!(is_k_bounded(&f, &ks, 1));
+        // Degree of a kept node counts only *kept* children.
+        let ks = KeepSet::from_ids(f.len(), &[r]);
+        assert!(is_k_bounded(&f, &ks, 0));
+    }
+
+    #[test]
+    fn kbas_combines_both() {
+        let (f, [r, a, b, c]) = chain_forest();
+        assert!(is_kbas(&f, &KeepSet::from_ids(f.len(), &[r, a, c]), 2));
+        assert!(!is_kbas(&f, &KeepSet::from_ids(f.len(), &[r, a, b]), 1));
+        assert!(!is_kbas(&f, &KeepSet::from_ids(f.len(), &[r, c]), 2));
+        assert!(is_kbas(&f, &KeepSet::empty(f.len()), 0));
+    }
+
+    #[test]
+    fn class_consistency() {
+        use NodeClass::*;
+        let (f, _) = chain_forest();
+        // r retained, a retained, b pruned-down, c retained: consistent.
+        assert!(classes_consistent(&f, &[Retained, Retained, PrunedDown, Retained]));
+        // Retained r with pruned-up child a: inconsistent (Obs 3.8a).
+        assert!(!classes_consistent(&f, &[Retained, PrunedUp, PrunedDown, PrunedDown]));
+        // Pruned-down a with retained child c: inconsistent (Obs 3.8c).
+        assert!(!classes_consistent(&f, &[PrunedUp, PrunedDown, Retained, Retained]));
+        // Pruned-up below retained... pruned-up c under retained a: checked
+        // via the ancestor rule: c pruned-up but parent a retained.
+        assert!(!classes_consistent(&f, &[Retained, Retained, PrunedDown, PrunedUp]));
+        // Pruned-up chain from the root is fine.
+        assert!(classes_consistent(&f, &[PrunedUp, PrunedUp, Retained, Retained]));
+    }
+
+    #[test]
+    fn keep_from_classes_extracts_retained() {
+        use NodeClass::*;
+        let ks = keep_from_classes(&[Retained, PrunedUp, PrunedDown, Retained]);
+        assert_eq!(ks.mask(), &[true, false, false, true]);
+    }
+}

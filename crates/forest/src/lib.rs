@@ -1,0 +1,37 @@
+//! # pobp-forest — Bounded-Degree Ancestor-Independent Sub-Forests (§3)
+//!
+//! The combinatorial core of *The Price of Bounded Preemption*: given a
+//! node-valued forest, find the maximum-value sub-forest whose components
+//! are ancestor-independent and whose nodes keep at most `k` children — the
+//! *k-BAS* of Definition 3.2. The bounded-preemption scheduling problem
+//! reduces to k-BAS on the *schedule forest* (see `pobp-sched`).
+//!
+//! * [`Forest`] — index-arena rose forests with iterative traversals;
+//! * [`tm`] — the optimal dynamic program of §3.2 (procedure `TM`);
+//! * [`levelled_contraction`] — Algorithm 1, the `log_{k+1} n` loss-factor
+//!   witness of Theorem 3.9 and our ablation baseline;
+//! * [`brute_force_kbas`] — exponential oracle for testing;
+//! * [`LowerBoundTree`] — the Appendix A adversarial instance showing the
+//!   loss factor is tight (Theorem 3.20).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod bruteforce;
+mod contraction;
+mod extract;
+mod kbas;
+mod lowerbound;
+mod tm;
+
+pub use arena::{Forest, NodeId};
+pub use bruteforce::{brute_force_kbas, BRUTE_FORCE_LIMIT};
+pub use contraction::{levelled_contraction, ContractionResult, Level};
+pub use extract::{extract_subforest, greedy_kbas};
+pub use kbas::{
+    classes_consistent, is_ancestor_independent, is_k_bounded, is_kbas, keep_from_classes,
+    KeepSet, NodeClass,
+};
+pub use lowerbound::{root_of, LowerBoundTree};
+pub use tm::{loss_bound, tm, TmResult};

@@ -1,0 +1,160 @@
+//! The Appendix A adversarial tree: the `Ω(log_{k+1} n)` loss-factor lower
+//! bound for k-BAS (Theorem 3.20, Figure 3).
+//!
+//! The construction: `L + 1` levels numbered `0..=L`; level `i` holds `K^i`
+//! nodes, each of value `K^{-i}`, and every non-leaf node has exactly `K`
+//! children. The paper sets `K = 2k`, so that
+//!
+//! * the total value is `L + 1` (one unit per level, Observation A.1), while
+//! * `TM` extracts only `t(root) = Σ_{j=0}^{L} (k/K)^j < K/(K-k) = 2`
+//!   (Lemma A.2 / Corollary A.3).
+//!
+//! We scale all values by `K^L` so they are exact integers in `f64`
+//! (level-`i` nodes get `K^{L-i}`); ratios are unchanged.
+
+use crate::arena::{Forest, NodeId};
+use pobp_core::Value;
+
+/// Parameters of the Appendix A tree.
+#[derive(Clone, Copy, Debug)]
+pub struct LowerBoundTree {
+    /// Branching factor `K` (> k in the paper; `K = 2k` for the theorem).
+    pub branching: u32,
+    /// Number of levels is `depth + 1` (`L` in the paper).
+    pub depth: u32,
+}
+
+impl LowerBoundTree {
+    /// The paper's parameterization for bound `k`: `K = 2k`.
+    pub fn for_k(k: u32, depth: u32) -> Self {
+        assert!(k >= 1, "the construction needs k ≥ 1");
+        LowerBoundTree { branching: 2 * k, depth }
+    }
+
+    /// Number of nodes `n = (K^{L+1} - 1) / (K - 1)`.
+    pub fn node_count(&self) -> usize {
+        let k = self.branching as usize;
+        if k == 1 {
+            return self.depth as usize + 1;
+        }
+        (k.pow(self.depth + 1) - 1) / (k - 1)
+    }
+
+    /// Builds the tree. Values are scaled by `K^L`: a level-`i` node has
+    /// value `K^(L - i)`.
+    ///
+    /// # Panics
+    /// Panics if the scaled values would lose integer precision in `f64`
+    /// (`K^L ≥ 2^53`) or the node count overflows memory sanity (> 2^28).
+    pub fn build(&self) -> Forest {
+        let kf = self.branching as f64;
+        let scale = kf.powi(self.depth as i32);
+        assert!(
+            scale < 2f64.powi(53),
+            "K^L = {scale} exceeds exact f64 integer range"
+        );
+        assert!(self.node_count() < 1 << 28, "tree too large");
+        let mut f = Forest::new();
+        let root = f.add_root(scale);
+        let mut frontier = vec![root];
+        let mut value = scale;
+        for _ in 0..self.depth {
+            value /= kf;
+            let mut next = Vec::with_capacity(frontier.len() * self.branching as usize);
+            for u in frontier {
+                for _ in 0..self.branching {
+                    next.push(f.add_child(u, value));
+                }
+            }
+            frontier = next;
+        }
+        f
+    }
+
+    /// The total tree value `(L + 1) · K^L` (Observation A.1, scaled).
+    pub fn total_value(&self) -> Value {
+        (self.depth as f64 + 1.0) * (self.branching as f64).powi(self.depth as i32)
+    }
+
+    /// The closed form of Lemma A.2 for `t(root)` under bound `k`, scaled:
+    /// `K^L · Σ_{j=0}^{L} (k/K)^j`.
+    pub fn expected_tm_value(&self, k: u32) -> Value {
+        let kf = self.branching as f64;
+        let scale = kf.powi(self.depth as i32);
+        let q = k as f64 / kf;
+        let sum: f64 = (0..=self.depth).map(|j| q.powi(j as i32)).sum();
+        scale * sum
+    }
+
+    /// The loss ratio `OPT_∞ / ALG` the construction forces (Corollary A.3):
+    /// `(L+1) / Σ (k/K)^j` — with `K = 2k` this is `> (L+1)/2 = Ω(log_{k+1} n)`.
+    pub fn expected_loss(&self, k: u32) -> f64 {
+        self.total_value() / self.expected_tm_value(k)
+    }
+}
+
+/// Root of the built tree (always the first node).
+pub fn root_of(forest: &Forest) -> NodeId {
+    forest.roots()[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tm::tm;
+
+    #[test]
+    fn shape_and_counts() {
+        let lb = LowerBoundTree { branching: 3, depth: 2 };
+        assert_eq!(lb.node_count(), 13); // 1 + 3 + 9
+        let f = lb.build();
+        assert_eq!(f.len(), 13);
+        assert_eq!(f.degree(root_of(&f)), 3);
+        assert_eq!(f.leaf_count(), 9);
+        // Scaled values: root 9, middle 3, leaves 1.
+        assert_eq!(f.value(root_of(&f)), 9.0);
+        assert_eq!(f.total_value(), lb.total_value());
+        assert_eq!(lb.total_value(), 27.0); // 3 levels × 9
+    }
+
+    #[test]
+    fn lemma_a2_closed_form_matches_tm() {
+        // Verify the DP reproduces the closed form for several (k, L).
+        for k in 1..=3u32 {
+            for depth in 1..=4u32 {
+                let lb = LowerBoundTree::for_k(k, depth);
+                let f = lb.build();
+                let res = tm(&f, k);
+                let expect = lb.expected_tm_value(k);
+                let rel = (res.value - expect).abs() / expect;
+                assert!(rel < 1e-12, "k={k} L={depth}: got {} want {expect}", res.value);
+            }
+        }
+    }
+
+    #[test]
+    fn corollary_a3_bound() {
+        // ALG < K/(K-k) × scale = 2 × K^L for K = 2k.
+        let lb = LowerBoundTree::for_k(2, 5);
+        let f = lb.build();
+        let res = tm(&f, 2);
+        let scale = 4f64.powi(5);
+        assert!(res.value < 2.0 * scale);
+        // Loss grows linearly in L: OPT/ALG > (L+1)/2.
+        let loss = f.total_value() / res.value;
+        assert!(loss > (5.0 + 1.0) / 2.0);
+    }
+
+    #[test]
+    fn k1_uses_k_equals_2() {
+        let lb = LowerBoundTree::for_k(1, 3);
+        assert_eq!(lb.branching, 2);
+        assert_eq!(lb.node_count(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn k_zero_rejected() {
+        let _ = LowerBoundTree::for_k(0, 3);
+    }
+}

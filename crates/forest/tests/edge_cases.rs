@@ -1,0 +1,141 @@
+//! Edge-case suite for the k-BAS machinery: degenerate shapes, tie-breaks,
+//! determinism, extreme degrees.
+
+use pobp_forest::*;
+
+#[test]
+fn forest_of_isolated_nodes() {
+    // n roots, no edges: everything is a k-BAS for every k.
+    let mut f = Forest::new();
+    for i in 0..10 {
+        f.add_root((i + 1) as f64);
+    }
+    for k in 0..3u32 {
+        let res = tm(&f, k);
+        assert_eq!(res.value, f.total_value(), "k={k}");
+        assert_eq!(res.keep.len(), 10);
+        let lc = levelled_contraction(&f, k.max(1));
+        assert_eq!(lc.iterations(), 1);
+        assert_eq!(lc.value(), f.total_value());
+    }
+}
+
+#[test]
+fn tm_deterministic_on_equal_children() {
+    // Star with equal-valued leaves: the top-k selection must be stable
+    // across runs (same keep set every time).
+    let mut f = Forest::new();
+    let r = f.add_root(100.0); // valuable center: retaining beats pruning up
+    for _ in 0..6 {
+        f.add_child(r, 5.0);
+    }
+    let a = tm(&f, 3);
+    let b = tm(&f, 3);
+    assert_eq!(a.keep.mask(), b.keep.mask());
+    assert_eq!(a.value, b.value);
+    assert_eq!(a.value, 115.0);
+    assert_eq!(a.keep.len(), 4); // root + 3 of the 6 equal leaves
+}
+
+#[test]
+fn wide_star_many_children() {
+    let mut f = Forest::new();
+    let r = f.add_root(1.0);
+    for i in 0..10_000 {
+        f.add_child(r, 1.0 + (i % 7) as f64);
+    }
+    let res = tm(&f, 100);
+    assert!(is_kbas(&f, &res.keep, 100));
+    // Pruning the cheap center up and keeping all children beats keeping
+    // the center with its best 100.
+    assert_eq!(res.classes[r.0], NodeClass::PrunedUp);
+    assert_eq!(res.keep.len(), 10_000);
+}
+
+#[test]
+fn contraction_on_wide_star_takes_two_levels() {
+    let mut f = Forest::new();
+    let r = f.add_root(1000.0);
+    for _ in 0..50 {
+        f.add_child(r, 1.0);
+    }
+    let lc = levelled_contraction(&f, 3);
+    assert_eq!(lc.iterations(), 2);
+    // Level 0 = the 50 leaves (value 50); level 1 = the heavy center.
+    assert_eq!(lc.levels[0].value, 50.0);
+    assert_eq!(lc.levels[1].value, 1000.0);
+    assert_eq!(lc.best, 1);
+}
+
+#[test]
+fn keepset_boundaries() {
+    let mut f = Forest::new();
+    let r = f.add_root(1.0);
+    let c = f.add_child(r, 2.0);
+    // Full keep, empty keep, each singleton.
+    assert!(is_kbas(&f, &KeepSet::from_mask(vec![true, true]), 1));
+    assert!(is_kbas(&f, &KeepSet::empty(2), 0));
+    assert!(is_kbas(&f, &KeepSet::from_ids(2, &[r]), 0));
+    assert!(is_kbas(&f, &KeepSet::from_ids(2, &[c]), 0));
+    // Parent + child at k = 0 violates the degree bound.
+    assert!(!is_kbas(&f, &KeepSet::from_mask(vec![true, true]), 0));
+}
+
+#[test]
+fn extraction_of_full_and_empty() {
+    let mut f = Forest::new();
+    let r = f.add_root(3.0);
+    f.add_child(r, 4.0);
+    let (full, back) = extract_subforest(&f, &KeepSet::from_mask(vec![true, true]));
+    assert_eq!(full.len(), 2);
+    assert_eq!(back.len(), 2);
+    assert_eq!(full.total_value(), 7.0);
+    let (empty, _) = extract_subforest(&f, &KeepSet::empty(2));
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn brute_force_handles_all_k_on_path() {
+    let mut f = Forest::new();
+    let mut cur = f.add_root(1.0);
+    for i in 0..5 {
+        cur = f.add_child(cur, (i + 2) as f64);
+    }
+    for k in 0..3u32 {
+        let (bf, keep) = brute_force_kbas(&f, k);
+        assert!(is_kbas(&f, &keep, k));
+        let dp = tm(&f, k);
+        assert_eq!(bf, dp.value, "k={k}");
+    }
+    // k ≥ 1 keeps the whole path.
+    assert_eq!(tm(&f, 1).value, f.total_value());
+}
+
+#[test]
+fn lower_bound_tree_depth_zero() {
+    let lb = LowerBoundTree { branching: 4, depth: 0 };
+    assert_eq!(lb.node_count(), 1);
+    let f = lb.build();
+    assert_eq!(f.len(), 1);
+    assert_eq!(tm(&f, 1).value, f.total_value());
+    assert_eq!(lb.expected_loss(1), 1.0);
+}
+
+#[test]
+fn greedy_kbas_on_isolated_nodes_is_optimal() {
+    let mut f = Forest::new();
+    for i in 0..8 {
+        f.add_root((i + 1) as f64);
+    }
+    let (gv, _) = greedy_kbas(&f, 0);
+    assert_eq!(gv, f.total_value());
+}
+
+#[test]
+fn loss_bound_monotone() {
+    // Larger n → larger bound; larger k → smaller bound.
+    for k in 1..5u32 {
+        assert!(loss_bound(100, k) <= loss_bound(1000, k));
+        assert!(loss_bound(1000, k + 1) <= loss_bound(1000, k));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the k-BAS algorithms: TM optimality vs brute force,
+//! structural validity, and the Theorem 3.9 loss bound.
+
+use pobp_forest::{
+    brute_force_kbas, classes_consistent, is_kbas, levelled_contraction, loss_bound, tm, Forest,
+};
+use proptest::prelude::*;
+
+/// Random forest strategy: values in 1..=100, each node's parent is a
+/// previously created node or none (Prüfer-ish incremental attachment).
+fn arb_forest(max_nodes: usize) -> impl Strategy<Value = Forest> {
+    proptest::collection::vec((1u32..=100, 0usize..=usize::MAX), 1..=max_nodes).prop_map(
+        |spec| {
+            let mut values = Vec::with_capacity(spec.len());
+            let mut parents = Vec::with_capacity(spec.len());
+            for (i, (v, p)) in spec.into_iter().enumerate() {
+                values.push(v as f64);
+                if i == 0 {
+                    parents.push(None);
+                } else {
+                    // p % (i+1): index i means "be a root".
+                    let q = p % (i + 1);
+                    parents.push((q < i).then_some(q));
+                }
+            }
+            Forest::from_parents(values, parents)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tm_matches_brute_force(f in arb_forest(12), k in 0u32..4) {
+        let (bf_value, bf_keep) = brute_force_kbas(&f, k);
+        let res = tm(&f, k);
+        prop_assert!(is_kbas(&f, &bf_keep, k));
+        prop_assert!((res.value - bf_value).abs() < 1e-9,
+            "TM={} BF={} k={k} forest={f:?}", res.value, bf_value);
+    }
+
+    #[test]
+    fn tm_output_is_valid(f in arb_forest(40), k in 0u32..5) {
+        let res = tm(&f, k);
+        prop_assert!(is_kbas(&f, &res.keep, k));
+        prop_assert!(classes_consistent(&f, &res.classes));
+        // Reported value equals the kept value.
+        prop_assert!((res.keep.value(&f) - res.value).abs() < 1e-9);
+        // t(u) ≥ val(u) and m(leaf) = 0.
+        for u in f.ids() {
+            prop_assert!(res.t[u.0] >= f.value(u) - 1e-9);
+            if f.is_leaf(u) {
+                prop_assert_eq!(res.m[u.0], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tm_respects_theorem_3_9(f in arb_forest(60), k in 1u32..5) {
+        // val(TM) ≥ val(T) / log_{k+1} n  (Theorem 3.9; bound ≥ 1).
+        let res = tm(&f, k);
+        let bound = loss_bound(f.len(), k).max(1.0);
+        prop_assert!(
+            res.value * bound >= f.total_value() - 1e-6,
+            "value={} total={} bound={bound}", res.value, f.total_value()
+        );
+    }
+
+    #[test]
+    fn contraction_levels_partition_and_are_kbas(f in arb_forest(50), k in 1u32..5) {
+        let res = levelled_contraction(&f, k);
+        let mut seen = vec![false; f.len()];
+        let mut total = 0.0;
+        for lvl in &res.levels {
+            let ks = pobp_forest::KeepSet::from_ids(f.len(), &lvl.members);
+            prop_assert!(is_kbas(&f, &ks, k));
+            for m in &lvl.members {
+                prop_assert!(!seen[m.0]);
+                seen[m.0] = true;
+            }
+            total += lvl.value;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+        prop_assert!((total - f.total_value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contraction_iteration_bound_lemma_3_18(f in arb_forest(80), k in 1u32..5) {
+        // L ≤ log_{k+1} n + 1 (the paper's ≤ log_{k+1} n, with rounding slack
+        // for tiny n where (k+1)^(L-1) - 1 bounds bite).
+        let res = levelled_contraction(&f, k);
+        let n = f.len() as f64;
+        let bound = (n.ln() / ((k + 1) as f64).ln()).floor() + 1.0;
+        prop_assert!(
+            (res.iterations() as f64) <= bound + 1e-9,
+            "L={} n={} k={k}", res.iterations(), f.len()
+        );
+    }
+
+    #[test]
+    fn tm_dominates_contraction(f in arb_forest(50), k in 1u32..5) {
+        // TM is optimal, so it can never lose to LevelledContraction.
+        let res = tm(&f, k);
+        let lc = levelled_contraction(&f, k);
+        prop_assert!(res.value >= lc.value() - 1e-9);
+        // And LC obeys its own Lemma 3.17 bound: best level ≥ total / L.
+        prop_assert!(lc.value() * lc.iterations() as f64 >= f.total_value() - 1e-6);
+    }
+
+    #[test]
+    fn tm_monotone_in_k(f in arb_forest(40)) {
+        // More preemptions can only help.
+        let mut prev = 0.0;
+        for k in 0..6 {
+            let v = tm(&f, k).value;
+            prop_assert!(v >= prev - 1e-9, "k={k}: {v} < {prev}");
+            prev = v;
+        }
+        // For k ≥ max degree, everything is kept.
+        let kmax = f.max_degree() as u32;
+        prop_assert!((tm(&f, kmax).value - f.total_value()).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn extracted_subforest_preserves_structure(f in arb_forest(30), k in 0u32..4) {
+        let res = tm(&f, k);
+        let (sub, back) = pobp_forest::extract_subforest(&f, &res.keep);
+        // Same node count and value as the keep-set.
+        prop_assert_eq!(sub.len(), res.keep.len());
+        prop_assert!((sub.total_value() - res.value).abs() < 1e-9);
+        // Degree bound carries over to the extracted forest.
+        prop_assert!(sub.max_degree() <= k as usize);
+        // Back-mapping is injective into kept nodes with matching values.
+        let mut seen = std::collections::HashSet::new();
+        for (i, &orig) in back.iter().enumerate() {
+            prop_assert!(res.keep.contains(orig));
+            prop_assert!(seen.insert(orig));
+            prop_assert_eq!(sub.value(pobp_forest::NodeId(i)), f.value(orig));
+        }
+        // Parent edges in the extraction correspond to kept parent edges.
+        for u in sub.ids() {
+            if let Some(p) = sub.parent(u) {
+                prop_assert_eq!(f.parent(back[u.0]), Some(back[p.0]));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_kbas_valid_and_dominated(f in arb_forest(16), k in 0u32..3) {
+        let (gv, gk) = pobp_forest::greedy_kbas(&f, k);
+        prop_assert!(is_kbas(&f, &gk, k));
+        prop_assert!((gv - gk.value(&f)).abs() < 1e-12);
+        let opt = tm(&f, k);
+        prop_assert!(opt.value >= gv - 1e-9);
+        // Greedy always keeps at least the single most valuable node.
+        let best = f.ids().map(|u| f.value(u)).fold(0.0f64, f64::max);
+        prop_assert!(gv >= best - 1e-12);
+    }
+}

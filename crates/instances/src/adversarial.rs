@@ -1,0 +1,152 @@
+//! Adversarial schedules and workloads used by the experiments:
+//! maximally-interleaved round-robin schedules (the stress input for the
+//! Figure 1 laminarization) and bursty arrival patterns (stress input for
+//! LSA and the online executor).
+
+use pobp_core::{Interval, Job, JobId, JobSet, Schedule, SegmentSet, Time};
+
+/// A block of `n` fully-overlapping lax jobs — every pair contends, so a
+/// quantum-1 round-robin execution interleaves maximally.
+pub fn overlapping_block(n: usize, length: Time, window_factor: Time) -> JobSet {
+    assert!(n >= 1 && length >= 1 && window_factor >= 1);
+    (0..n)
+        .map(|i| {
+            Job::new(
+                0,
+                (n as Time) * length * window_factor,
+                length,
+                (i + 1) as f64,
+            )
+        })
+        .collect()
+}
+
+/// A deliberately interleaved feasible schedule: round-robin with quantum 1
+/// over the given jobs. The *worst case* for the preempts relation — the
+/// input `laminarize` (Figure 1) untangles in the E1 experiment.
+///
+/// Jobs that cannot be completed inside their windows under round robin are
+/// simply left out of the schedule.
+pub fn round_robin_schedule(jobs: &JobSet, ids: &[JobId]) -> Schedule {
+    let mut remaining: Vec<(JobId, Time)> =
+        ids.iter().map(|&j| (j, jobs.job(j).length)).collect();
+    let mut placed: std::collections::HashMap<JobId, Vec<Interval>> = Default::default();
+    let mut t = ids
+        .iter()
+        .map(|&j| jobs.job(j).release)
+        .min()
+        .unwrap_or(0);
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        remaining.retain_mut(|(j, rem)| {
+            if *rem == 0 {
+                return false;
+            }
+            let job = jobs.job(*j);
+            if t < job.release || t >= job.deadline {
+                return *rem > 0;
+            }
+            placed.entry(*j).or_default().push(Interval::new(t, t + 1));
+            *rem -= 1;
+            t += 1;
+            progressed = true;
+            *rem > 0
+        });
+        if !progressed {
+            t += 1;
+            if remaining.iter().all(|&(j, _)| t >= jobs.job(j).deadline) {
+                break;
+            }
+        }
+    }
+    let mut s = Schedule::new();
+    for (j, ivs) in placed {
+        if SegmentSet::from_intervals(ivs.clone()).total_len() == jobs.job(j).length {
+            s.assign_single(j, SegmentSet::from_intervals(ivs));
+        }
+    }
+    s
+}
+
+/// Bursty arrivals: `bursts` groups of `per_burst` jobs released together,
+/// `gap` ticks apart; each burst's jobs share a window but differ in value.
+/// Stress input for LSA's idle-segment scan and the online executor's
+/// overload handling.
+pub fn bursty_workload(bursts: usize, per_burst: usize, length: Time, gap: Time) -> JobSet {
+    assert!(bursts >= 1 && per_burst >= 1 && length >= 1 && gap >= 1);
+    let mut jobs = JobSet::new();
+    for b in 0..bursts {
+        let release = b as Time * gap;
+        // Window fits roughly half the burst → forced rejections.
+        let window = length * ((per_burst as Time + 1) / 2).max(1) + length;
+        for i in 0..per_burst {
+            jobs.push(Job::new(release, release + window, length, (i + 1) as f64));
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_sched::{is_laminar, laminarize};
+
+    #[test]
+    fn overlapping_block_shape() {
+        let jobs = overlapping_block(6, 3, 4);
+        assert_eq!(jobs.len(), 6);
+        for (_, j) in jobs.iter() {
+            assert_eq!(j.release, 0);
+            assert_eq!(j.length, 3);
+            assert_eq!(j.deadline, 72);
+        }
+        assert_eq!(jobs.total_value(), 21.0);
+    }
+
+    #[test]
+    fn round_robin_is_feasible_but_not_laminar() {
+        let jobs = overlapping_block(6, 3, 4);
+        let ids: Vec<JobId> = jobs.ids().collect();
+        let rr = round_robin_schedule(&jobs, &ids);
+        rr.verify(&jobs, None).unwrap();
+        assert_eq!(rr.len(), 6);
+        assert!(!is_laminar(&rr));
+        // Every job is chopped into `length` unit pieces.
+        for id in rr.scheduled_ids() {
+            assert_eq!(rr.preemptions(id), 2);
+        }
+        // And Figure 1 untangles it.
+        let lam = laminarize(&jobs, &rr).unwrap();
+        assert!(is_laminar(&lam));
+        assert_eq!(lam.value(&jobs), rr.value(&jobs));
+    }
+
+    #[test]
+    fn round_robin_drops_infeasible_jobs() {
+        // Two tight jobs sharing a unit window: RR can finish at most one.
+        let jobs: JobSet = vec![
+            Job::new(0, 2, 2, 1.0),
+            Job::new(0, 2, 2, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let ids: Vec<JobId> = jobs.ids().collect();
+        let rr = round_robin_schedule(&jobs, &ids);
+        rr.verify(&jobs, None).unwrap();
+        assert!(rr.len() <= 1);
+    }
+
+    #[test]
+    fn bursty_workload_forces_rejections() {
+        let jobs = bursty_workload(4, 6, 5, 40);
+        assert_eq!(jobs.len(), 24);
+        let ids: Vec<JobId> = jobs.ids().collect();
+        // A burst of 6×5 ticks in a window of 4×5: not all fit.
+        assert!(!pobp_sched::edf_feasible(&jobs, &ids));
+        // But LSA still produces something feasible.
+        let out = pobp_sched::lsa_cs(&jobs, &ids, 1);
+        out.schedule.verify(&jobs, Some(1)).unwrap();
+        assert!(!out.accepted.is_empty());
+        assert!(!out.rejected.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The Figure 2 instance (§5): geometric nesting showing
+//! `PoBP_0 = Ω(min{n, log P})`.
+//!
+//! `n` unit-value jobs with lengths `1, 2, 4, …, 2^{n-1}` and windows nested
+//! around a common *center slot*:
+//!
+//! * job `i` has `p_i = 2^i` and window length `2^{i+1} - 1 < 2·p_i`, so any
+//!   en-bloc placement must cover the center slot — hence **no two jobs**
+//!   can be scheduled without preemption and `OPT_0 = 1`;
+//! * the windows telescope (`w_i = p_i + w_{i-1}`), so with a single
+//!   preemption per job, job `i` runs half before and half after job
+//!   `i - 1`'s window — **all `n` jobs** fit, `OPT_1 = OPT_∞ = n`, with zero
+//!   slack (total length = outermost window, exactly).
+//!
+//! The price at `k = 0` is therefore `n = log2 P + 1`: simultaneously the
+//! `n` and the `log P` lower bounds of §5.
+
+use pobp_core::{Interval, Job, JobId, JobSet, Schedule, SegmentSet, Time};
+
+/// Builder for the Figure 2 instance.
+///
+/// ```
+/// use pobp_instances::Fig2Instance;
+///
+/// let inst = Fig2Instance::new(5);
+/// let jobs = inst.build();
+/// assert_eq!(jobs.len(), 5);
+/// // OPT_1 schedules everything (witness), OPT_0 only one job.
+/// let witness = inst.witness_schedule();
+/// witness.verify(&jobs, Some(1)).unwrap();
+/// assert_eq!(inst.length_ratio(), 16.0); // P = 2^(n-1)
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2Instance {
+    /// Number of jobs (`n ≥ 1`); job lengths go up to `2^{n-1}`.
+    pub n: u32,
+}
+
+impl Fig2Instance {
+    /// A new instance with `n` jobs.
+    ///
+    /// # Panics
+    /// Panics for `n = 0` or `n > 62` (length overflow).
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1, "need at least one job");
+        assert!(n <= 62, "2^(n-1) must fit in i64");
+        Fig2Instance { n }
+    }
+
+    /// The length ratio `P = 2^{n-1}`.
+    pub fn length_ratio(&self) -> f64 {
+        2f64.powi(self.n as i32 - 1)
+    }
+
+    /// Builds the job set. Job `i` (innermost = 0) has `p_i = 2^i`,
+    /// unit value, and window `[r_0 - (2^i - 1), r_0 + 2^{i+1} - ... )` —
+    /// concretely `r_i = -(2^i - 1)`, `d_i = r_i + 2^{i+1} - 1 = 2^i`.
+    pub fn build(&self) -> JobSet {
+        let mut jobs = JobSet::new();
+        for i in 0..self.n {
+            let p: Time = 1 << i;
+            let r = -(p - 1);
+            let d = r + 2 * p - 1;
+            jobs.push(Job::new(r, d, p, 1.0));
+        }
+        jobs
+    }
+
+    /// The witness 1-preemptive schedule of **all** jobs: job 0 occupies the
+    /// center slot `[0, 1)`; job `i` runs `2^{i-1}` ticks on each side of
+    /// the inner block.
+    pub fn witness_schedule(&self) -> Schedule {
+        let mut s = Schedule::new();
+        // Inner block of jobs 0..i spans [-(2^i - 1), 2^i) after placing i
+        // jobs... track the occupied block [lo, hi).
+        let mut lo: Time = 0;
+        let mut hi: Time = 1;
+        s.assign_single(JobId(0), SegmentSet::singleton(Interval::new(0, 1)));
+        for i in 1..self.n {
+            let half: Time = 1 << (i - 1);
+            s.assign_single(
+                JobId(i as usize),
+                SegmentSet::from_intervals([
+                    Interval::new(lo - half, lo),
+                    Interval::new(hi, hi + half),
+                ]),
+            );
+            lo -= half;
+            hi += half;
+        }
+        s
+    }
+
+    /// The common center slot every en-bloc placement must cover.
+    pub fn center_slot(&self) -> Interval {
+        Interval::new(0, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_sched::{edf_feasible, opt_nonpreemptive, schedule_k0};
+
+    #[test]
+    fn construction_shape() {
+        let inst = Fig2Instance::new(4);
+        let jobs = inst.build();
+        assert_eq!(jobs.len(), 4);
+        let lens: Vec<Time> = jobs.iter().map(|(_, j)| j.length).collect();
+        assert_eq!(lens, vec![1, 2, 4, 8]);
+        assert_eq!(jobs.length_ratio(), Some(8.0));
+        assert_eq!(inst.length_ratio(), 8.0);
+        // Window of job i is 2^{i+1} - 1 < 2 p_i.
+        for (_, j) in jobs.iter() {
+            assert_eq!(j.window_len(), 2 * j.length - 1);
+        }
+    }
+
+    #[test]
+    fn witness_is_feasible_one_preemptive() {
+        for n in 1..=10u32 {
+            let inst = Fig2Instance::new(n);
+            let jobs = inst.build();
+            let w = inst.witness_schedule();
+            w.verify(&jobs, Some(1)).unwrap();
+            assert_eq!(w.len(), n as usize);
+            // Job 0 is never preempted; the rest once each.
+            assert_eq!(w.preemptions(JobId(0)), 0);
+            for i in 1..n as usize {
+                assert_eq!(w.preemptions(JobId(i)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn whole_set_is_edf_feasible() {
+        let inst = Fig2Instance::new(8);
+        let jobs = inst.build();
+        let ids: Vec<JobId> = jobs.ids().collect();
+        assert!(edf_feasible(&jobs, &ids));
+    }
+
+    #[test]
+    fn every_en_bloc_placement_covers_center() {
+        let inst = Fig2Instance::new(6);
+        let jobs = inst.build();
+        let center = inst.center_slot();
+        for (_, j) in jobs.iter() {
+            // Any start s ∈ [r, d - p] gives execution ⊇ center.
+            for s in j.release..=(j.deadline - j.length) {
+                let exec = Interval::with_len(s, j.length);
+                assert!(exec.contains(&center), "{exec:?} misses center");
+            }
+        }
+    }
+
+    #[test]
+    fn opt0_is_one() {
+        let inst = Fig2Instance::new(6);
+        let jobs = inst.build();
+        let ids: Vec<JobId> = jobs.ids().collect();
+        let np = opt_nonpreemptive(&jobs, &ids);
+        assert_eq!(np.value, 1.0);
+        // And the §5 algorithm attains it.
+        let alg = schedule_k0(&jobs, &ids);
+        assert_eq!(alg.value(&jobs), 1.0);
+    }
+
+    #[test]
+    fn price_at_k0_is_n() {
+        // OPT_∞ = n (witness), OPT_0 = 1 → price = n = log2 P + 1.
+        let inst = Fig2Instance::new(7);
+        let jobs = inst.build();
+        let ids: Vec<JobId> = jobs.ids().collect();
+        assert!(edf_feasible(&jobs, &ids));
+        let np = opt_nonpreemptive(&jobs, &ids);
+        let price = jobs.len() as f64 / np.value;
+        assert_eq!(price, 7.0);
+        assert_eq!(price, inst.length_ratio().log2() + 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Periodic real-time task sets, unrolled into job instances.
+//!
+//! The bounded-preemption literature the paper builds on ([11], [12], [27] —
+//! limited-preemption EDF and fixed-priority scheduling) lives in the
+//! periodic-task world: task `τ_i = (C_i, T_i, D_i)` releases a job of
+//! length `C_i` every `T_i` ticks with relative deadline `D_i`. Unrolling a
+//! task set over a hyperperiod produces exactly the job model of §2.1, which
+//! lets the paper's offline algorithms and the `pobp-sim` executor run on
+//! workloads shaped like the motivating systems.
+
+use pobp_core::{Job, JobSet, Time, Value};
+
+/// A periodic task `(C, T, D)` with a per-job value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeriodicTask {
+    /// Worst-case execution time `C` (the job length).
+    pub wcet: Time,
+    /// Period `T` between releases.
+    pub period: Time,
+    /// Relative deadline `D` (constrained: `C ≤ D`; often `D ≤ T`).
+    pub deadline: Time,
+    /// Value of each job of this task.
+    pub value: Value,
+    /// Release offset of the first job.
+    pub offset: Time,
+}
+
+impl PeriodicTask {
+    /// A task with implicit deadline (`D = T`), zero offset, unit value.
+    pub fn implicit(wcet: Time, period: Time) -> Self {
+        PeriodicTask { wcet, period, deadline: period, value: 1.0, offset: 0 }
+    }
+
+    /// Utilization `C / T`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet as f64 / self.period as f64
+    }
+
+    /// Laxity of every job of this task: `D / C`.
+    pub fn laxity(&self) -> f64 {
+        self.deadline as f64 / self.wcet as f64
+    }
+}
+
+/// A set of periodic tasks.
+///
+/// ```
+/// use pobp_instances::{PeriodicTask, TaskSet};
+///
+/// let ts = TaskSet::new(vec![
+///     PeriodicTask::implicit(2, 6),
+///     PeriodicTask::implicit(3, 9),
+/// ]);
+/// assert_eq!(ts.hyperperiod(), 18);
+/// let (jobs, task_of) = ts.unroll_hyperperiod();
+/// assert_eq!(jobs.len(), 18 / 6 + 18 / 9);
+/// assert_eq!(task_of.len(), jobs.len());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskSet {
+    /// The tasks.
+    pub tasks: Vec<PeriodicTask>,
+}
+
+impl TaskSet {
+    /// Creates a task set, validating each task (`C ≥ 1`, `C ≤ D`, `T ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics on an invalid task.
+    pub fn new(tasks: Vec<PeriodicTask>) -> Self {
+        for (i, t) in tasks.iter().enumerate() {
+            assert!(t.wcet >= 1, "task {i}: C must be ≥ 1");
+            assert!(t.period >= 1, "task {i}: T must be ≥ 1");
+            assert!(t.deadline >= t.wcet, "task {i}: D < C can never be met");
+            assert!(t.value > 0.0, "task {i}: value must be positive");
+            assert!(t.offset >= 0, "task {i}: negative offset");
+        }
+        TaskSet { tasks }
+    }
+
+    /// Total utilization `Σ C_i / T_i` — > 1 means the set is overloaded on
+    /// one machine and the value objective starts to bite.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(PeriodicTask::utilization).sum()
+    }
+
+    /// The hyperperiod (lcm of the periods).
+    pub fn hyperperiod(&self) -> Time {
+        self.tasks.iter().fold(1, |acc, t| lcm(acc, t.period))
+    }
+
+    /// Unrolls all jobs released in `[0, horizon)`; `JobId`s are assigned in
+    /// release order (task-major). Returns the jobs and, parallel to ids,
+    /// the index of the generating task.
+    pub fn unroll(&self, horizon: Time) -> (JobSet, Vec<usize>) {
+        let mut stamped: Vec<(Time, usize, Job)> = Vec::new();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            let mut r = t.offset;
+            while r < horizon {
+                stamped.push((r, ti, Job::new(r, r + t.deadline, t.wcet, t.value)));
+                r += t.period;
+            }
+        }
+        stamped.sort_by_key(|&(r, ti, _)| (r, ti));
+        let mut jobs = JobSet::new();
+        let mut task_of = Vec::with_capacity(stamped.len());
+        for (_, ti, job) in stamped {
+            jobs.push(job);
+            task_of.push(ti);
+        }
+        (jobs, task_of)
+    }
+
+    /// Unrolls exactly one hyperperiod.
+    pub fn unroll_hyperperiod(&self) -> (JobSet, Vec<usize>) {
+        self.unroll(self.hyperperiod())
+    }
+}
+
+fn gcd(a: Time, b: Time) -> Time {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: Time, b: Time) -> Time {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_task_shape() {
+        let t = PeriodicTask::implicit(2, 10);
+        assert_eq!(t.deadline, 10);
+        assert_eq!(t.utilization(), 0.2);
+        assert_eq!(t.laxity(), 5.0);
+    }
+
+    #[test]
+    fn hyperperiod_is_lcm() {
+        let ts = TaskSet::new(vec![
+            PeriodicTask::implicit(1, 4),
+            PeriodicTask::implicit(1, 6),
+            PeriodicTask::implicit(1, 10),
+        ]);
+        assert_eq!(ts.hyperperiod(), 60);
+        assert!((ts.utilization() - (0.25 + 1.0 / 6.0 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unroll_counts_and_windows() {
+        let ts = TaskSet::new(vec![
+            PeriodicTask::implicit(2, 5),
+            PeriodicTask { wcet: 3, period: 10, deadline: 8, value: 4.0, offset: 1 },
+        ]);
+        let (jobs, task_of) = ts.unroll(20);
+        // Task 0: releases 0,5,10,15 → 4 jobs; task 1: releases 1,11 → 2.
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(task_of.iter().filter(|&&t| t == 0).count(), 4);
+        for (id, job) in jobs.iter() {
+            let t = &ts.tasks[task_of[id.0]];
+            assert_eq!(job.length, t.wcet);
+            assert_eq!(job.deadline - job.release, t.deadline);
+            assert_eq!(job.value, t.value);
+        }
+        // Jobs are in release order.
+        for w in jobs.ids().collect::<Vec<_>>().windows(2) {
+            assert!(jobs.job(w[0]).release <= jobs.job(w[1]).release);
+        }
+    }
+
+    #[test]
+    fn unroll_hyperperiod_matches_manual() {
+        let ts = TaskSet::new(vec![PeriodicTask::implicit(1, 3), PeriodicTask::implicit(2, 4)]);
+        let (jobs, _) = ts.unroll_hyperperiod();
+        assert_eq!(jobs.len(), 12 / 3 + 12 / 4);
+    }
+
+    #[test]
+    fn underloaded_implicit_set_is_edf_feasible() {
+        // U = 0.9 < 1 with implicit deadlines → EDF schedules everything.
+        let ts = TaskSet::new(vec![
+            PeriodicTask::implicit(2, 5),
+            PeriodicTask::implicit(3, 10),
+            PeriodicTask::implicit(4, 20),
+        ]);
+        assert!(ts.utilization() <= 1.0);
+        let (jobs, _) = ts.unroll_hyperperiod();
+        let ids: Vec<pobp_core::JobId> = jobs.ids().collect();
+        assert!(pobp_sched::edf_feasible(&jobs, &ids));
+    }
+
+    #[test]
+    #[should_panic(expected = "D < C")]
+    fn rejects_impossible_deadline() {
+        let _ = TaskSet::new(vec![PeriodicTask {
+            wcet: 5,
+            period: 10,
+            deadline: 4,
+            value: 1.0,
+            offset: 0,
+        }]);
+    }
+}

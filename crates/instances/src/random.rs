@@ -1,0 +1,217 @@
+//! Seeded random workload generators for property tests, examples and the
+//! average-case experiments.
+//!
+//! All generators are deterministic functions of their `seed`, so every
+//! experiment in `EXPERIMENTS.md` is reproducible bit-for-bit.
+
+use pobp_core::{Job, JobSet, Time};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the random workload generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWorkload {
+    /// Number of jobs to generate.
+    pub n: usize,
+    /// Horizon: release times are drawn from `0..horizon`.
+    pub horizon: Time,
+    /// Inclusive length range `p_min..=p_max` (controls `P`).
+    pub length_range: (Time, Time),
+    /// Laxity regime for windows.
+    pub laxity: LaxityModel,
+    /// Value distribution.
+    pub values: ValueModel,
+}
+
+/// How job windows relate to lengths.
+#[derive(Clone, Copy, Debug)]
+pub enum LaxityModel {
+    /// `λ_j` uniform in `[1, max]` — mixed strict/lax populations.
+    Uniform {
+        /// Upper end of the laxity range (≥ 1).
+        max: f64,
+    },
+    /// All jobs strict for bound `k`: `λ_j ∈ [1, k+1]`.
+    Strict {
+        /// The preemption bound defining strictness.
+        k: u32,
+    },
+    /// All jobs lax for bound `k`: `λ_j ∈ [k+1, factor·(k+1)]`.
+    Lax {
+        /// The preemption bound defining laxity.
+        k: u32,
+        /// Multiplier for the upper end (≥ 1).
+        factor: f64,
+    },
+}
+
+/// How job values are drawn.
+#[derive(Clone, Copy, Debug)]
+pub enum ValueModel {
+    /// Every job has value 1.
+    Unit,
+    /// Integer values uniform in `1..=max`.
+    Uniform {
+        /// Largest value.
+        max: u64,
+    },
+    /// Value proportional to length times an integer factor in `1..=max` —
+    /// bounded density `σ`, the regime LSA's sort exploits.
+    DensityBounded {
+        /// Largest density factor.
+        max: u64,
+    },
+}
+
+impl RandomWorkload {
+    /// A reasonable default: mixed laxity, moderate `P`.
+    pub fn standard(n: usize) -> Self {
+        RandomWorkload {
+            n,
+            horizon: (n as Time).max(1) * 8,
+            length_range: (1, 32),
+            laxity: LaxityModel::Uniform { max: 8.0 },
+            values: ValueModel::Uniform { max: 100 },
+        }
+    }
+
+    /// Generates the job set for `seed`.
+    pub fn generate(&self, seed: u64) -> JobSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (p_lo, p_hi) = self.length_range;
+        assert!(p_lo >= 1 && p_hi >= p_lo, "invalid length range");
+        let mut jobs = JobSet::new();
+        for _ in 0..self.n {
+            let length = rng.random_range(p_lo..=p_hi);
+            let lam = match self.laxity {
+                LaxityModel::Uniform { max } => rng.random_range(1.0..=max.max(1.0)),
+                LaxityModel::Strict { k } => rng.random_range(1.0..=(k as f64 + 1.0)),
+                LaxityModel::Lax { k, factor } => {
+                    let lo = k as f64 + 1.0;
+                    rng.random_range(lo..=lo * factor.max(1.0))
+                }
+            };
+            // Window = ceil(λ·p), so the realized laxity is ≥ the drawn one
+            // (strict classes stay strict thanks to the integer ceil only
+            // when λ was at most k+1 — we re-clamp below).
+            let mut window = (lam * length as f64).ceil() as Time;
+            if let LaxityModel::Strict { k } = self.laxity {
+                window = window.min((k as Time + 1) * length);
+            }
+            if let LaxityModel::Lax { k, .. } = self.laxity {
+                window = window.max((k as Time + 1) * length);
+            }
+            window = window.max(length);
+            let release = rng.random_range(0..self.horizon.max(1));
+            let value = match self.values {
+                ValueModel::Unit => 1.0,
+                ValueModel::Uniform { max } => rng.random_range(1..=max.max(1)) as f64,
+                ValueModel::DensityBounded { max } => {
+                    (rng.random_range(1..=max.max(1)) * length as u64) as f64
+                }
+            };
+            jobs.push(Job::new(release, release + window, length, value));
+        }
+        jobs
+    }
+}
+
+/// Random node-valued forests for the k-BAS experiments: `n` nodes, each
+/// attached to a uniformly random earlier node with probability
+/// `1 − root_prob`, values uniform in `1..=100`.
+pub fn random_forest(n: usize, root_prob: f64, seed: u64) -> pobp_forest::Forest {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(n);
+    let mut parents: Vec<Option<usize>> = Vec::with_capacity(n);
+    for i in 0..n {
+        values.push(rng.random_range(1..=100u32) as f64);
+        if i == 0 || rng.random_range(0.0..1.0) < root_prob {
+            parents.push(None);
+        } else {
+            parents.push(Some(rng.random_range(0..i)));
+        }
+    }
+    pobp_forest::Forest::from_parents(values, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = RandomWorkload::standard(50);
+        assert_eq!(w.generate(7), w.generate(7));
+        assert_ne!(w.generate(7), w.generate(8));
+    }
+
+    #[test]
+    fn respects_length_range() {
+        let w = RandomWorkload {
+            length_range: (3, 9),
+            ..RandomWorkload::standard(200)
+        };
+        let jobs = w.generate(1);
+        for (_, j) in jobs.iter() {
+            assert!((3..=9).contains(&j.length));
+        }
+        assert!(jobs.length_ratio().unwrap() <= 3.0);
+    }
+
+    #[test]
+    fn strict_model_produces_strict_jobs() {
+        let w = RandomWorkload {
+            laxity: LaxityModel::Strict { k: 2 },
+            ..RandomWorkload::standard(300)
+        };
+        for (_, j) in w.generate(3).iter() {
+            assert!(j.is_strict(2), "λ = {}", j.laxity());
+        }
+    }
+
+    #[test]
+    fn lax_model_produces_lax_jobs() {
+        let w = RandomWorkload {
+            laxity: LaxityModel::Lax { k: 2, factor: 4.0 },
+            ..RandomWorkload::standard(300)
+        };
+        for (_, j) in w.generate(3).iter() {
+            assert!(j.laxity() >= 3.0, "λ = {}", j.laxity());
+        }
+    }
+
+    #[test]
+    fn unit_values() {
+        let w = RandomWorkload {
+            values: ValueModel::Unit,
+            ..RandomWorkload::standard(40)
+        };
+        let jobs = w.generate(0);
+        assert_eq!(jobs.total_value(), 40.0);
+    }
+
+    #[test]
+    fn density_bounded_values_track_length() {
+        let w = RandomWorkload {
+            values: ValueModel::DensityBounded { max: 5 },
+            ..RandomWorkload::standard(100)
+        };
+        for (_, j) in w.generate(9).iter() {
+            let sigma = j.density();
+            assert!((1.0..=5.0).contains(&sigma), "σ = {sigma}");
+            assert_eq!(sigma.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn random_forest_is_valid_and_seeded() {
+        let f = random_forest(500, 0.1, 42);
+        assert_eq!(f.len(), 500);
+        assert_eq!(f, random_forest(500, 0.1, 42));
+        assert!(!f.roots().is_empty());
+        // All-roots degenerate case.
+        let g = random_forest(50, 1.1, 0);
+        assert_eq!(g.roots().len(), 50);
+    }
+}

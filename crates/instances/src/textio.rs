@@ -1,0 +1,235 @@
+//! Plain-text serialization of job sets, so experiments can be dumped,
+//! versioned and re-loaded without any serialization dependency.
+//!
+//! Format (one job per line, `#` comments and blank lines ignored):
+//!
+//! ```text
+//! # release deadline length value
+//! 0 14 9 5
+//! 2 8 3 2.5
+//! ```
+
+use pobp_core::{Interval, Job, JobId, JobSet, Schedule, SegmentSet};
+
+/// Writes a job set in the line format above (with a header comment).
+pub fn write_jobs(jobs: &JobSet) -> String {
+    let mut out = String::from("# release deadline length value\n");
+    for (_, j) in jobs.iter() {
+        out.push_str(&format!("{} {} {} {}\n", j.release, j.deadline, j.length, j.value));
+    }
+    out
+}
+
+/// Parses the line format back into a job set.
+///
+/// # Errors
+/// Returns a message naming the offending line on malformed input or on
+/// jobs violating the model constraints (`p ≥ 1`, `val > 0`, `p ≤ d − r`).
+pub fn parse_jobs(text: &str) -> Result<JobSet, String> {
+    let mut jobs = JobSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()));
+        }
+        let release = fields[0]
+            .parse::<i64>()
+            .map_err(|e| format!("line {}: bad release: {e}", lineno + 1))?;
+        let deadline = fields[1]
+            .parse::<i64>()
+            .map_err(|e| format!("line {}: bad deadline: {e}", lineno + 1))?;
+        let length = fields[2]
+            .parse::<i64>()
+            .map_err(|e| format!("line {}: bad length: {e}", lineno + 1))?;
+        let value = fields[3]
+            .parse::<f64>()
+            .map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+        let job = Job::try_new(release, deadline, length, value)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let jobs: JobSet = vec![
+            Job::new(0, 14, 9, 5.0),
+            Job::new(-3, 8, 3, 2.5),
+            Job::new(100, 200, 50, 0.125),
+        ]
+        .into_iter()
+        .collect();
+        let text = write_jobs(&jobs);
+        let back = parse_jobs(&text).unwrap();
+        assert_eq!(jobs, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n  0 10 5 1\n# trailing comment\n 2 20 3 2 \n";
+        let jobs = parse_jobs(text).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs.job(pobp_core::JobId(1)).length, 3);
+    }
+
+    #[test]
+    fn empty_input_is_empty_set() {
+        assert!(parse_jobs("").unwrap().is_empty());
+        assert!(parse_jobs("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn reports_field_count() {
+        let err = parse_jobs("0 10 5\n").unwrap_err();
+        assert!(err.contains("line 1"));
+        assert!(err.contains("4 fields"));
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line() {
+        let err = parse_jobs("0 10 5 1\nx 10 5 1\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("release"));
+    }
+
+    #[test]
+    fn reports_model_violations() {
+        let err = parse_jobs("0 4 10 1\n").unwrap_err();
+        assert!(err.contains("window"), "{err}");
+        let err = parse_jobs("0 4 2 -1\n").unwrap_err();
+        assert!(err.contains("not positive"), "{err}");
+    }
+
+    #[test]
+    fn random_workload_round_trips() {
+        let jobs = crate::RandomWorkload::standard(100).generate(5);
+        let back = parse_jobs(&write_jobs(&jobs)).unwrap();
+        assert_eq!(jobs, back);
+    }
+}
+
+/// Writes a schedule in a line format: one scheduled job per line,
+/// `job_index machine seg_start:seg_end seg_start:seg_end …`.
+///
+/// ```text
+/// # job machine segments...
+/// 0 0 0:2 5:7
+/// 1 0 2:5
+/// ```
+pub fn write_schedule(schedule: &Schedule) -> String {
+    let mut out = String::from("# job machine segments (start:end ...)\n");
+    for (id, a) in schedule.iter() {
+        out.push_str(&format!("{} {}", id.0, a.machine));
+        for seg in a.segs.iter() {
+            out.push_str(&format!(" {}:{}", seg.start, seg.end));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the [`write_schedule`] format back into a [`Schedule`].
+///
+/// # Errors
+/// Returns a message naming the offending line on malformed input. The
+/// result is *not* validated against a job set — call
+/// [`Schedule::verify`] with the matching jobs afterwards.
+pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
+    let mut schedule = Schedule::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let job: usize = fields
+            .next()
+            .ok_or_else(|| format!("line {}: missing job index", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad job index: {e}", lineno + 1))?;
+        let machine: usize = fields
+            .next()
+            .ok_or_else(|| format!("line {}: missing machine", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad machine: {e}", lineno + 1))?;
+        let mut segs = Vec::new();
+        for f in fields {
+            let (a, b) = f
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: segment `{f}` is not start:end", lineno + 1))?;
+            let start: i64 = a
+                .parse()
+                .map_err(|e| format!("line {}: bad segment start: {e}", lineno + 1))?;
+            let end: i64 = b
+                .parse()
+                .map_err(|e| format!("line {}: bad segment end: {e}", lineno + 1))?;
+            if end <= start {
+                return Err(format!("line {}: empty or reversed segment {start}:{end}", lineno + 1));
+            }
+            segs.push(Interval::new(start, end));
+        }
+        if segs.is_empty() {
+            return Err(format!("line {}: job {job} has no segments", lineno + 1));
+        }
+        let set = SegmentSet::from_intervals(segs);
+        schedule.assign(JobId(job), machine, set);
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod schedule_io_tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new();
+        s.assign(
+            JobId(0),
+            0,
+            SegmentSet::from_intervals([Interval::new(0, 2), Interval::new(5, 7)]),
+        );
+        s.assign(JobId(3), 2, SegmentSet::singleton(Interval::new(-4, -1)));
+        s
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let s = sample();
+        let text = write_schedule(&s);
+        let back = parse_schedule(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn schedule_parse_errors_name_lines() {
+        assert!(parse_schedule("0\n").unwrap_err().contains("line 1"));
+        assert!(parse_schedule("0 0 5-7\n").unwrap_err().contains("start:end"));
+        assert!(parse_schedule("0 0 7:5\n").unwrap_err().contains("reversed"));
+        assert!(parse_schedule("0 0\n").unwrap_err().contains("no segments"));
+        assert!(parse_schedule("x 0 0:1\n").unwrap_err().contains("job index"));
+    }
+
+    #[test]
+    fn schedule_empty_and_comments() {
+        assert!(parse_schedule("# nothing\n\n").unwrap().is_empty());
+        assert_eq!(write_schedule(&Schedule::new()).lines().count(), 1);
+    }
+
+    #[test]
+    fn parsed_schedule_verifies_against_jobs() {
+        let jobs: JobSet = vec![Job::new(0, 10, 4, 1.0)].into_iter().collect();
+        let text = "0 0 0:2 5:7\n";
+        let s = parse_schedule(text).unwrap();
+        s.verify(&jobs, Some(1)).unwrap();
+        assert!(s.verify(&jobs, Some(0)).is_err());
+    }
+}

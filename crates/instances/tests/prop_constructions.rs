@@ -1,0 +1,95 @@
+//! Parametric property tests for the paper's constructions: the claimed
+//! invariants hold for *every* admissible parameter choice, not just the
+//! sampled values in the unit tests.
+
+use pobp_core::JobId;
+use pobp_instances::{Fig2Instance, Fig4Instance, LowerBoundTree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fig2_invariants(n in 1u32..20) {
+        let inst = Fig2Instance::new(n);
+        let jobs = inst.build();
+        prop_assert_eq!(jobs.len(), n as usize);
+        // Lengths are the geometric sequence 2^i.
+        for (id, j) in jobs.iter() {
+            prop_assert_eq!(j.length, 1i64 << id.0);
+            // Window strictly shorter than twice the length.
+            prop_assert!(j.window_len() < 2 * j.length);
+            // Every en-bloc placement covers the center slot.
+            prop_assert!(j.release <= 0 && j.deadline >= 1);
+            prop_assert!(j.deadline - j.length <= 0);
+        }
+        // Witness: feasible with exactly ≤ 1 preemption, covers all jobs.
+        let w = inst.witness_schedule();
+        w.verify(&jobs, Some(1)).unwrap();
+        prop_assert_eq!(w.len(), n as usize);
+        // Total work exactly fills the outermost window (zero slack).
+        let total: i64 = jobs.iter().map(|(_, j)| j.length).sum();
+        let outer = jobs.job(JobId(n as usize - 1));
+        prop_assert_eq!(total, outer.window_len());
+    }
+
+    #[test]
+    fn fig4_invariants(k in 1u32..4, depth in 1u32..4) {
+        let inst = Fig4Instance::for_k(k, depth);
+        let built = inst.build();
+        prop_assert_eq!(built.jobs.len(), inst.job_count());
+        let kb = inst.branching as i64;
+        for (id, j) in built.jobs.iter() {
+            let level = built.level_of[id.0];
+            // Exact lengths and values per level.
+            prop_assert_eq!(j.length, inst.length_at(level));
+            prop_assert_eq!(j.value, inst.value_at(level));
+            // Laxity is exactly 1 + 1/(3K−1): window·(3K−1) = p·3K.
+            prop_assert_eq!(j.window_len() * (3 * kb - 1), j.length * 3 * kb);
+            // Children nest strictly inside the parent's window.
+            if let Some(p) = built.parent_of[id.0] {
+                let parent = built.jobs.job(p);
+                prop_assert!(j.release > parent.release);
+                prop_assert!(j.deadline < parent.deadline);
+            }
+        }
+        // Levels have K^l jobs.
+        for (l, level) in built.by_level.iter().enumerate() {
+            prop_assert_eq!(level.len(), (inst.branching as usize).pow(l as u32));
+        }
+        // Scaled OPT_∞ value equals the total value.
+        prop_assert_eq!(built.jobs.total_value(), inst.opt_unbounded_value());
+        // The analytic OPT_k bound is below OPT_∞ and above one level.
+        let upper = inst.opt_k_upper_bound(k);
+        prop_assert!(upper < inst.opt_unbounded_value());
+        prop_assert!(upper >= inst.value_at(0));
+    }
+
+    #[test]
+    fn appendix_a_tree_invariants(k in 1u32..4, depth in 1u32..5) {
+        let lb = LowerBoundTree::for_k(k, depth);
+        let f = lb.build();
+        prop_assert_eq!(f.len(), lb.node_count());
+        // Every non-leaf has exactly K children.
+        for u in f.ids() {
+            let d = f.degree(u);
+            prop_assert!(d == 0 || d == lb.branching as usize);
+        }
+        // Per-level value is constant: total = (L+1)·K^L.
+        prop_assert_eq!(f.total_value(), lb.total_value());
+        // Value halves... scales by 1/K per level.
+        let depths = f.depths();
+        for u in f.ids() {
+            let expect = (lb.branching as f64).powi((depth - depths[u.0] as u32) as i32);
+            prop_assert_eq!(f.value(u), expect);
+        }
+    }
+
+    #[test]
+    fn fig4_edf_feasible_small(k in 1u32..3, depth in 1u32..3) {
+        // Lemma B.2's OPT_∞ claim holds for every small parameterization.
+        let built = Fig4Instance::for_k(k, depth).build();
+        let ids: Vec<JobId> = built.jobs.ids().collect();
+        prop_assert!(pobp_sched::edf_feasible(&built.jobs, &ids));
+    }
+}

@@ -1,0 +1,298 @@
+//! Classical non-preemptive baselines cited in §1.4 of the paper.
+//!
+//! * **Moore–Hodgson** [24]: maximize the *number* of on-time jobs, common
+//!   release time, non-preemptive, `O(n log n)`. The classic exact greedy:
+//!   process jobs in deadline order, and whenever the running total
+//!   overshoots a deadline, evict the longest job accepted so far.
+//! * **Lawler–Moore** [23]: maximize the *value* of on-time jobs, common
+//!   release time, non-preemptive, pseudo-polynomial `O(n · Σp)`. A
+//!   knapsack-style DP over deadline-sorted jobs where the state is the
+//!   total processing time of the accepted set (an exchange argument shows
+//!   accepted jobs can always run in EDD order, so feasibility is
+//!   `completion ≤ deadline` per accepted job).
+//!
+//! Both require a **common release time** (they predate release-time
+//! generality); the functions assert it. They serve as exact fast baselines
+//! for the `k = 0` experiments on common-release instances and as test
+//! oracles cross-checked against `opt_nonpreemptive`.
+
+use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet, Time, Value};
+
+fn assert_common_release(jobs: &JobSet, ids: &[JobId]) -> Time {
+    let Some(first) = ids.first() else { return 0 };
+    let r = jobs.job(*first).release;
+    assert!(
+        ids.iter().all(|&j| jobs.job(j).release == r),
+        "classical algorithms require a common release time"
+    );
+    r
+}
+
+/// Ids sorted by deadline (EDD), ties by id.
+fn edd_order(jobs: &JobSet, ids: &[JobId]) -> Vec<JobId> {
+    let mut v = ids.to_vec();
+    v.sort_by_key(|&j| (jobs.job(j).deadline, j));
+    v
+}
+
+/// Builds the non-preemptive schedule running `accepted` in EDD order from
+/// the common release time.
+fn edd_schedule(jobs: &JobSet, accepted: &[JobId], release: Time) -> Schedule {
+    let mut schedule = Schedule::new();
+    let mut t = release;
+    for &j in &edd_order(jobs, accepted) {
+        let p = jobs.job(j).length;
+        schedule.assign_single(j, SegmentSet::singleton(Interval::with_len(t, p)));
+        t += p;
+    }
+    schedule
+}
+
+/// Moore–Hodgson: the maximum-cardinality on-time set for unit-value,
+/// common-release, non-preemptive scheduling, in `O(n log n)`.
+///
+/// Returns the accepted ids (sorted) and their EDD schedule.
+///
+/// ```
+/// use pobp_core::{Job, JobId, JobSet};
+/// use pobp_sched::moore_hodgson;
+///
+/// let jobs: JobSet = [(2i64, 6i64), (3, 7), (2, 8), (5, 9), (6, 11)]
+///     .into_iter()
+///     .map(|(p, d)| Job::new(0, d, p, 1.0))
+///     .collect();
+/// let ids: Vec<JobId> = jobs.ids().collect();
+/// let (accepted, schedule) = moore_hodgson(&jobs, &ids);
+/// assert_eq!(accepted.len(), 3); // any 4 need ≥ 12 ticks by deadline 11
+/// schedule.verify(&jobs, Some(0)).unwrap();
+/// ```
+///
+/// # Panics
+/// Panics when the jobs do not share a release time.
+pub fn moore_hodgson(jobs: &JobSet, ids: &[JobId]) -> (Vec<JobId>, Schedule) {
+    let release = assert_common_release(jobs, ids);
+    let mut heap: std::collections::BinaryHeap<(Time, JobId)> = Default::default();
+    let mut total: Time = 0;
+    for j in edd_order(jobs, ids) {
+        let job = jobs.job(j);
+        heap.push((job.length, j));
+        total += job.length;
+        if release + total > job.deadline {
+            // Evict the longest accepted job — the classical exchange step.
+            let (longest, _) = heap.pop().expect("just pushed");
+            total -= longest;
+        }
+    }
+    let mut accepted: Vec<JobId> = heap.into_iter().map(|(_, j)| j).collect();
+    accepted.sort_unstable();
+    let schedule = edd_schedule(jobs, &accepted, release);
+    debug_assert!(schedule.verify(jobs, Some(0)).is_ok());
+    (accepted, schedule)
+}
+
+/// Lawler–Moore: the maximum-*value* on-time set for common-release,
+/// non-preemptive scheduling, in `O(n · Σp)` time and space.
+///
+/// Returns the accepted ids (sorted), their EDD schedule, and the value.
+///
+/// # Panics
+/// Panics when the jobs do not share a release time or `Σp` exceeds
+/// 10⁷ (the DP table would be unreasonably large).
+pub fn lawler_moore(jobs: &JobSet, ids: &[JobId]) -> (Vec<JobId>, Schedule, Value) {
+    let release = assert_common_release(jobs, ids);
+    let order = edd_order(jobs, ids);
+    let total_p: Time = ids.iter().map(|&j| jobs.job(j).length).sum();
+    assert!(total_p <= 10_000_000, "Σp = {total_p} too large for the DP");
+    let width = total_p as usize + 1;
+    // best[t] = max value of an accepted set of total length exactly t,
+    // considering the first i jobs in EDD order; NEG for unreachable.
+    const NEG: f64 = f64::NEG_INFINITY;
+    let mut best = vec![NEG; width];
+    best[0] = 0.0;
+    // choice[i][t] = whether job order[i] is taken at state t (for recovery).
+    let mut choice: Vec<Vec<bool>> = Vec::with_capacity(order.len());
+    for &j in &order {
+        let job = jobs.job(j);
+        let p = job.length as usize;
+        let mut taken = vec![false; width];
+        // Iterate t downward (0/1 knapsack) over states still meeting the
+        // deadline: accepted set of total length t must finish by d_j when
+        // j is its last EDD job: release + t ≤ d_j.
+        let t_max = ((job.deadline - release) as usize).min(width - 1);
+        for t in (p..=t_max).rev() {
+            let cand = best[t - p] + job.value;
+            if cand > best[t] {
+                best[t] = cand;
+                taken[t] = true;
+            }
+        }
+        choice.push(taken);
+    }
+    // Optimal value and state.
+    let (mut t, mut best_value) = (0usize, 0.0f64);
+    for (state, &v) in best.iter().enumerate() {
+        if v > best_value {
+            best_value = v;
+            t = state;
+        }
+    }
+    // Recover the accepted set.
+    let mut accepted = Vec::new();
+    for i in (0..order.len()).rev() {
+        if choice[i][t] {
+            accepted.push(order[i]);
+            t -= jobs.job(order[i]).length as usize;
+        }
+    }
+    debug_assert_eq!(t, 0);
+    accepted.sort_unstable();
+    let schedule = edd_schedule(jobs, &accepted, release);
+    debug_assert!(schedule.verify(jobs, Some(0)).is_ok());
+    (accepted, schedule, best_value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::opt_nonpreemptive;
+    use pobp_core::Job;
+
+    fn ids_of(n: usize) -> Vec<JobId> {
+        (0..n).map(JobId).collect()
+    }
+
+    #[test]
+    fn moore_hodgson_textbook_example() {
+        // Instance: jobs (p, d) = (2,6),(3,7),(2,8),(5,9),(6,11). Any four
+        // jobs need ≥ 12 ticks but the latest deadline is 11, so the
+        // optimum keeps exactly 3 — Moore's greedy evicts j3 then j4.
+        let jobs: JobSet = [(2, 6), (3, 7), (2, 8), (5, 9), (6, 11)]
+            .into_iter()
+            .map(|(p, d)| Job::new(0, d, p, 1.0))
+            .collect();
+        let (accepted, schedule) = moore_hodgson(&jobs, &ids_of(5));
+        schedule.verify(&jobs, Some(0)).unwrap();
+        assert_eq!(accepted, vec![JobId(0), JobId(1), JobId(2)]);
+        // Exact DP agrees on cardinality (unit values).
+        let opt = opt_nonpreemptive(&jobs, &ids_of(5));
+        assert_eq!(opt.value, 3.0);
+    }
+
+    #[test]
+    fn moore_hodgson_all_feasible() {
+        let jobs: JobSet = (1..=4).map(|i| Job::new(0, 100, i, 1.0)).collect();
+        let (accepted, _) = moore_hodgson(&jobs, &ids_of(4));
+        assert_eq!(accepted.len(), 4);
+    }
+
+    #[test]
+    fn moore_hodgson_matches_exact_on_random_common_release() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=9usize);
+            let jobs: JobSet = (0..n)
+                .map(|_| {
+                    let p = rng.random_range(1..=8i64);
+                    let d = p + rng.random_range(0..=20i64);
+                    Job::new(0, d, p, 1.0)
+                })
+                .collect();
+            let ids = ids_of(n);
+            let (accepted, schedule) = moore_hodgson(&jobs, &ids);
+            schedule.verify(&jobs, Some(0)).unwrap();
+            let opt = opt_nonpreemptive(&jobs, &ids);
+            assert_eq!(accepted.len() as f64, opt.value, "{jobs:?}");
+        }
+    }
+
+    #[test]
+    fn lawler_moore_prefers_value_over_count() {
+        // One heavy job vs two light ones that exclude it.
+        let jobs: JobSet = vec![
+            Job::new(0, 4, 4, 10.0),
+            Job::new(0, 2, 2, 1.0),
+            Job::new(0, 4, 2, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let (accepted, schedule, value) = lawler_moore(&jobs, &ids_of(3));
+        schedule.verify(&jobs, Some(0)).unwrap();
+        assert_eq!(value, 10.0);
+        assert_eq!(accepted, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn lawler_moore_matches_exact_on_random_common_release() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=9usize);
+            let jobs: JobSet = (0..n)
+                .map(|_| {
+                    let p = rng.random_range(1..=8i64);
+                    let d = p + rng.random_range(0..=20i64);
+                    let v = rng.random_range(1..=9u32) as f64;
+                    Job::new(0, d, p, v)
+                })
+                .collect();
+            let ids = ids_of(n);
+            let (_, schedule, value) = lawler_moore(&jobs, &ids);
+            schedule.verify(&jobs, Some(0)).unwrap();
+            let opt = opt_nonpreemptive(&jobs, &ids);
+            assert!((value - opt.value).abs() < 1e-9, "LM={value} DP={} {jobs:?}", opt.value);
+        }
+    }
+
+    #[test]
+    fn lawler_moore_unit_values_matches_moore_hodgson() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for _ in 0..15 {
+            let n = rng.random_range(1..=10usize);
+            let jobs: JobSet = (0..n)
+                .map(|_| {
+                    let p = rng.random_range(1..=6i64);
+                    let d = p + rng.random_range(0..=15i64);
+                    Job::new(0, d, p, 1.0)
+                })
+                .collect();
+            let ids = ids_of(n);
+            let (mh, _) = moore_hodgson(&jobs, &ids);
+            let (_, _, lm) = lawler_moore(&jobs, &ids);
+            assert_eq!(mh.len() as f64, lm);
+        }
+    }
+
+    #[test]
+    fn nonzero_common_release_is_supported() {
+        let jobs: JobSet = vec![Job::new(50, 60, 5, 1.0), Job::new(50, 70, 10, 1.0)]
+            .into_iter()
+            .collect();
+        let (accepted, schedule) = moore_hodgson(&jobs, &ids_of(2));
+        schedule.verify(&jobs, Some(0)).unwrap();
+        assert_eq!(accepted.len(), 2);
+        let (_, s2, v) = lawler_moore(&jobs, &ids_of(2));
+        s2.verify(&jobs, Some(0)).unwrap();
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "common release")]
+    fn rejects_differing_releases() {
+        let jobs: JobSet = vec![Job::new(0, 10, 2, 1.0), Job::new(1, 10, 2, 1.0)]
+            .into_iter()
+            .collect();
+        let _ = moore_hodgson(&jobs, &ids_of(2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let jobs = JobSet::new();
+        let (a, s) = moore_hodgson(&jobs, &[]);
+        assert!(a.is_empty() && s.is_empty());
+        let (a, s, v) = lawler_moore(&jobs, &[]);
+        assert!(a.is_empty() && s.is_empty());
+        assert_eq!(v, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Classify-and-select by value and by density — the §1.4 extensions.
+//!
+//! Albagli-Kim et al. [1] gave `O(1)` approximations (hence `O(1)` price)
+//! for the *unit-value* and *unit-density* special cases. The paper notes
+//! (§1.4) that classify-and-select turns those into `O(log ρ)` and
+//! `O(log σ)` approximations for the general problem, where
+//! `ρ = val_max / val_min` and `σ = σ_max / σ_min` (density spread).
+//!
+//! We implement both: split the jobs into geometric classes of the chosen
+//! key (ratio ≤ 2 within a class, so a class is "almost unit"), run LSA on
+//! each class — ordered by that key, as in the original algorithm — on its
+//! own empty machine, and return the best class.
+
+use crate::lsa::{lsa_in_order, LsaOutcome};
+use pobp_core::{JobId, JobSet, Schedule};
+
+/// Geometric classes of an arbitrary positive key: class `c` holds jobs
+/// with `2^c ≤ key(j)/key_min < 2^(c+1)`.
+pub fn key_classes<F: Fn(&pobp_core::Job) -> f64>(
+    jobs: &JobSet,
+    ids: &[JobId],
+    key: F,
+) -> Vec<Vec<JobId>> {
+    let Some(min) = ids
+        .iter()
+        .map(|&j| key(jobs.job(j)))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite keys"))
+    else {
+        return Vec::new();
+    };
+    assert!(min > 0.0, "classify-and-select needs positive keys");
+    let mut classes: Vec<Vec<JobId>> = Vec::new();
+    for &j in ids {
+        let c = (key(jobs.job(j)) / min).log2().floor().max(0.0) as usize;
+        if classes.len() <= c {
+            classes.resize_with(c + 1, Vec::new);
+        }
+        classes[c].push(j);
+    }
+    classes
+}
+
+fn best_class_by<F: Fn(&pobp_core::Job) -> f64 + Copy>(
+    jobs: &JobSet,
+    classes: Vec<Vec<JobId>>,
+    k: u32,
+    key: F,
+) -> LsaOutcome {
+    let mut best: Option<LsaOutcome> = None;
+    let mut best_value = -1.0f64;
+    for mut class in classes {
+        if class.is_empty() {
+            continue;
+        }
+        // Within a class, consider jobs in descending key order (the
+        // Albagli-Kim ordering), ties by id.
+        class.sort_by(|&a, &b| {
+            key(jobs.job(b))
+                .partial_cmp(&key(jobs.job(a)))
+                .expect("finite keys")
+                .then(a.cmp(&b))
+        });
+        let out = lsa_in_order(jobs, &class, k);
+        let v = out.value(jobs);
+        if v > best_value {
+            best_value = v;
+            best = Some(out);
+        }
+    }
+    best.unwrap_or(LsaOutcome {
+        accepted: Vec::new(),
+        rejected: Vec::new(),
+        schedule: Schedule::new(),
+    })
+}
+
+/// Classify-and-select by **value** (`O(log ρ)` price on lax jobs): value
+/// classes of ratio ≤ 2, LSA in value order per class, best class wins.
+pub fn cs_by_value(jobs: &JobSet, ids: &[JobId], k: u32) -> LsaOutcome {
+    let classes = key_classes(jobs, ids, |j| j.value);
+    best_class_by(jobs, classes, k, |j| j.value)
+}
+
+/// Classify-and-select by **density** (`O(log σ)` price on lax jobs):
+/// density classes of ratio ≤ 2, LSA in density order per class.
+pub fn cs_by_density(jobs: &JobSet, ids: &[JobId], k: u32) -> LsaOutcome {
+    let classes = key_classes(jobs, ids, |j| j.density());
+    best_class_by(jobs, classes, k, |j| j.density())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_core::Job;
+
+    fn ids_of(n: usize) -> Vec<JobId> {
+        (0..n).map(JobId).collect()
+    }
+
+    #[test]
+    fn key_classes_partition_by_ratio_two() {
+        let jobs: JobSet = vec![
+            Job::new(0, 100, 1, 1.0),
+            Job::new(0, 100, 1, 1.9),
+            Job::new(0, 100, 1, 2.0),
+            Job::new(0, 100, 1, 5.0),
+            Job::new(0, 100, 1, 16.0),
+        ]
+        .into_iter()
+        .collect();
+        let classes = key_classes(&jobs, &ids_of(5), |j| j.value);
+        assert_eq!(classes.len(), 5);
+        assert_eq!(classes[0], vec![JobId(0), JobId(1)]); // [1, 2)
+        assert_eq!(classes[1], vec![JobId(2)]); // [2, 4)
+        assert_eq!(classes[2], vec![JobId(3)]); // [4, 8)
+        assert!(classes[3].is_empty());
+        assert_eq!(classes[4], vec![JobId(4)]); // [16, 32)
+        // Every class has key-ratio < 2 + ε.
+        for class in &classes {
+            if class.len() >= 2 {
+                let vals: Vec<f64> = class.iter().map(|&j| jobs.job(j).value).collect();
+                let ratio = vals.iter().cloned().fold(f64::MIN, f64::max)
+                    / vals.iter().cloned().fold(f64::MAX, f64::min);
+                assert!(ratio < 2.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let jobs = JobSet::new();
+        assert!(key_classes(&jobs, &[], |j| j.value).is_empty());
+        assert!(cs_by_value(&jobs, &[], 1).accepted.is_empty());
+        assert!(cs_by_density(&jobs, &[], 1).accepted.is_empty());
+    }
+
+    #[test]
+    fn outputs_are_feasible_k_bounded() {
+        let jobs: JobSet = vec![
+            Job::new(0, 60, 5, 8.0),
+            Job::new(0, 60, 10, 3.0),
+            Job::new(10, 90, 7, 21.0),
+            Job::new(5, 45, 4, 1.0),
+            Job::new(0, 200, 20, 40.0),
+        ]
+        .into_iter()
+        .collect();
+        for k in 0..4u32 {
+            for out in [cs_by_value(&jobs, &ids_of(5), k), cs_by_density(&jobs, &ids_of(5), k)] {
+                out.schedule.verify(&jobs, Some(k)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn cs_by_value_prefers_valuable_class() {
+        // One huge-value job vs many unit jobs that fill the machine.
+        let mut v = vec![Job::new(0, 40, 20, 1000.0)];
+        for i in 0..6 {
+            v.push(Job::new(5 * i, 5 * i + 4, 3, 1.0));
+        }
+        let jobs: JobSet = v.into_iter().collect();
+        let out = cs_by_value(&jobs, &ids_of(7), 1);
+        assert!(out.accepted.contains(&JobId(0)));
+        assert_eq!(out.value(&jobs), 1000.0);
+    }
+
+    #[test]
+    fn cs_by_density_groups_similar_densities() {
+        // Two density populations; the denser one is worth more in total.
+        let jobs: JobSet = vec![
+            Job::new(0, 30, 4, 40.0),  // σ = 10
+            Job::new(0, 30, 4, 36.0),  // σ = 9
+            Job::new(0, 30, 4, 4.0),   // σ = 1
+            Job::new(0, 30, 4, 4.4),   // σ = 1.1
+        ]
+        .into_iter()
+        .collect();
+        let out = cs_by_density(&jobs, &ids_of(4), 1);
+        assert!(out.accepted.contains(&JobId(0)));
+        assert!(out.accepted.contains(&JobId(1)));
+        assert!(out.value(&jobs) >= 76.0);
+    }
+
+    #[test]
+    fn unit_value_input_collapses_to_single_class() {
+        let jobs: JobSet = (0..5).map(|i| Job::new(4 * i, 4 * i + 3, 2, 1.0)).collect();
+        let classes = key_classes(&jobs, &ids_of(5), |j| j.value);
+        assert_eq!(classes.len(), 1);
+        let out = cs_by_value(&jobs, &ids_of(5), 0);
+        assert_eq!(out.accepted.len(), 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Algorithm 3: `k-PreemptionCombined` (§4.3.3).
+//!
+//! Split the jobs by relative laxity at `k + 1`:
+//!
+//! * **strict** jobs (`λ ≤ k+1`) go through the §4.1/§4.2 reduction applied
+//!   to the input `∞`-preemptive schedule restricted to them — Lemma 4.6
+//!   bounds the loss by `log_{k+1}(P·λ_max) ≤ log_{k+1} P + 1`;
+//! * **lax** jobs (`λ ≥ k+1`) are rescheduled from scratch by `LSA_CS` —
+//!   Lemma 4.10 bounds the loss by `6·log_{k+1} P`.
+//!
+//! One of the two classes carries at least half of the optimum, so the
+//! better branch is an `O(log_{k+1} P)` approximation of `OPT_∞`
+//! (Theorem 4.5).
+
+use crate::baselines::greedy_unbounded;
+use crate::lsa::lsa_cs;
+use crate::reduction::reduce_to_k_bounded;
+use pobp_core::{Infeasibility, JobId, JobSet, Schedule};
+
+/// The two branches of Algorithm 3, for inspection.
+#[derive(Clone, Debug)]
+pub struct CombinedOutcome {
+    /// Strict-branch schedule (reduction of the restricted input schedule).
+    pub strict: Schedule,
+    /// Lax-branch schedule (`LSA_CS` from scratch).
+    pub lax: Schedule,
+    /// The returned schedule: the better branch.
+    pub chosen: Schedule,
+}
+
+/// Runs Algorithm 3 on the candidate jobs `ids` with a feasible
+/// `∞`-preemptive schedule of (a subset of) them.
+///
+/// Only jobs in `ids` are considered for either branch, which is what the
+/// iterative multi-machine extension needs (machine `i+1` must not touch
+/// jobs machines `0..=i` already took).
+///
+/// ```
+/// use pobp_core::{Job, JobId, JobSet};
+/// use pobp_sched::{edf_schedule, k_preemption_combined};
+///
+/// let jobs: JobSet = vec![
+///     Job::new(0, 12, 9, 5.0),  // strict (λ = 4/3)
+///     Job::new(0, 100, 4, 3.0), // lax
+/// ].into_iter().collect();
+/// let ids = [JobId(0), JobId(1)];
+/// let inf = edf_schedule(&jobs, &ids, None);
+/// let out = k_preemption_combined(&jobs, &ids, &inf.schedule, 1).unwrap();
+/// out.chosen.verify(&jobs, Some(1)).unwrap();
+/// // Chosen is the better of the strict/lax branches.
+/// assert!(out.chosen.value(&jobs) >= out.lax.value(&jobs));
+/// ```
+///
+/// # Errors
+/// Returns the input schedule's infeasibility, if any.
+pub fn k_preemption_combined(
+    jobs: &JobSet,
+    ids: &[JobId],
+    schedule_inf: &Schedule,
+    k: u32,
+) -> Result<CombinedOutcome, Infeasibility> {
+    schedule_inf.verify(jobs, None)?;
+    let mut strict_ids = Vec::new();
+    let mut lax_ids = Vec::new();
+    for &j in ids {
+        if jobs.job(j).is_strict(k) {
+            strict_ids.push(j);
+        } else {
+            lax_ids.push(j);
+        }
+    }
+    // Strict branch: restrict the given schedule to strict jobs, reduce.
+    let strict = reduce_to_k_bounded(jobs, &schedule_inf.restricted_to(&strict_ids), k)?;
+    // Lax branch: LSA_CS on all lax jobs (ignores the input schedule).
+    let lax = lsa_cs(jobs, &lax_ids, k);
+    let (sv, lv) = (strict.schedule.value(jobs), lax.schedule.value(jobs));
+    let chosen = if sv >= lv {
+        strict.schedule.clone()
+    } else {
+        lax.schedule.clone()
+    };
+    Ok(CombinedOutcome { strict: strict.schedule, lax: lax.schedule, chosen })
+}
+
+/// Convenience entry point when no `∞`-preemptive schedule is at hand:
+/// builds one with the greedy EDF acceptance baseline, then runs
+/// Algorithm 3.
+pub fn combined_from_scratch(jobs: &JobSet, ids: &[JobId], k: u32) -> CombinedOutcome {
+    let inf = greedy_unbounded(jobs, ids);
+    k_preemption_combined(jobs, ids, &inf.schedule, k).expect("EDF schedule is feasible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::edf_schedule;
+    use pobp_core::Job;
+
+    fn ids_of(n: usize) -> Vec<JobId> {
+        (0..n).map(JobId).collect()
+    }
+
+    #[test]
+    fn combined_output_is_k_feasible() {
+        let jobs: JobSet = vec![
+            Job::new(0, 12, 9, 5.0),   // strict (λ = 4/3)
+            Job::new(2, 8, 3, 2.0),    // strict (λ = 2) for k=1
+            Job::new(0, 100, 4, 3.0),  // lax (λ = 25)
+            Job::new(10, 80, 5, 1.0),  // lax (λ = 14)
+        ]
+        .into_iter()
+        .collect();
+        let inf = edf_schedule(&jobs, &ids_of(4), None);
+        assert!(inf.is_feasible());
+        for k in 1..4u32 {
+            let out = k_preemption_combined(&jobs, &ids_of(4), &inf.schedule, k).unwrap();
+            out.chosen.verify(&jobs, Some(k)).unwrap();
+            out.strict.verify(&jobs, Some(k)).unwrap();
+            out.lax.verify(&jobs, Some(k)).unwrap();
+            // Chosen = max of branches.
+            let c = out.chosen.value(&jobs);
+            assert!(c >= out.strict.value(&jobs) - 1e-9);
+            assert!(c >= out.lax.value(&jobs) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lax_branch_handles_all_lax_input() {
+        // Everything lax: the strict branch is empty.
+        let jobs: JobSet = (0..5).map(|i| Job::new(0, 200, 4 + i, 1.0 + i as f64)).collect();
+        let inf = edf_schedule(&jobs, &ids_of(5), None);
+        let out = k_preemption_combined(&jobs, &ids_of(5), &inf.schedule, 1).unwrap();
+        assert!(out.strict.is_empty());
+        assert!(!out.lax.is_empty());
+        assert_eq!(out.chosen.value(&jobs), out.lax.value(&jobs));
+    }
+
+    #[test]
+    fn strict_branch_handles_all_strict_input() {
+        let jobs: JobSet = vec![Job::new(0, 10, 9, 1.0), Job::new(12, 20, 7, 1.0)]
+            .into_iter()
+            .collect();
+        let inf = edf_schedule(&jobs, &ids_of(2), None);
+        let out = k_preemption_combined(&jobs, &ids_of(2), &inf.schedule, 1).unwrap();
+        assert!(out.lax.is_empty());
+        assert_eq!(out.chosen.len(), 2);
+    }
+
+    #[test]
+    fn from_scratch_runs_end_to_end() {
+        let jobs: JobSet = vec![
+            Job::new(0, 40, 30, 10.0),
+            Job::new(5, 15, 4, 3.0),
+            Job::new(0, 300, 10, 6.0),
+        ]
+        .into_iter()
+        .collect();
+        for k in 1..3 {
+            let out = combined_from_scratch(&jobs, &ids_of(3), k);
+            out.chosen.verify(&jobs, Some(k)).unwrap();
+        }
+    }
+
+    #[test]
+    fn combined_rejects_infeasible_schedule() {
+        let jobs: JobSet = vec![Job::new(0, 4, 2, 1.0)].into_iter().collect();
+        let mut s = Schedule::new();
+        s.assign_single(
+            JobId(0),
+            pobp_core::SegmentSet::singleton(pobp_core::Interval::new(0, 3)),
+        );
+        assert!(k_preemption_combined(&jobs, &[JobId(0)], &s, 1).is_err());
+    }
+}

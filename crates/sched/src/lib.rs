@@ -1,0 +1,59 @@
+//! # pobp-sched — the scheduling algorithms of *The Price of Bounded
+//! Preemption* (SPAA'18)
+//!
+//! Everything §4 and §5 of the paper describe, built on `pobp-core` and
+//! `pobp-forest`:
+//!
+//! * [`edf_schedule`] / [`edf_feasible`] — preemptive EDF, the feasibility
+//!   oracle and `∞`-preemptive witness generator (with machine-availability
+//!   restriction);
+//! * [`laminarize`] / [`is_laminar`] — the Figure 1 rearrangement;
+//! * [`schedule_forest`] / [`reconstruct`] — schedule ⇄ forest (§4.1,
+//!   Lemma 4.1's left-merge);
+//! * [`reduce_to_k_bounded`] — the full Theorem 4.2 pipeline
+//!   (`O(log_{k+1} n)` price, constructively);
+//! * [`lsa`] / [`lsa_cs`] — Algorithm 2 for lax jobs
+//!   (`O(log_{k+1} P)` price, Lemma 4.10);
+//! * [`k_preemption_combined`] — Algorithm 3 (Theorem 4.5);
+//! * [`schedule_k0`] / [`best_single_job`] — the `k = 0` case
+//!   (§5, `Θ(min{n, log P})`);
+//! * [`iterative_multi_machine`] — the §4.3.4 multi-machine extension;
+//! * [`opt_unbounded`] / [`opt_nonpreemptive`] / [`opt_k_bounded_small`] —
+//!   exact exponential oracles for small instances (the documented
+//!   substitution for Lawler's DP, see `DESIGN.md` §4);
+//! * [`greedy_unbounded`] / [`edf_truncate`] /
+//!   [`greedy_nonpreemptive_by_value`] — baselines for benches/ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod classical;
+mod classify;
+mod combined;
+mod edf;
+mod exact;
+mod laminar;
+mod lsa;
+mod migrative;
+mod multi;
+mod nonpreemptive;
+mod reduction;
+mod sforest;
+
+pub use baselines::{edf_truncate, greedy_nonpreemptive_by_value, greedy_unbounded};
+pub use combined::{combined_from_scratch, k_preemption_combined, CombinedOutcome};
+pub use edf::{edf_feasible, edf_schedule, EdfOutcome};
+pub use exact::{
+    opt_k_bounded_small, opt_nonpreemptive, opt_unbounded, ExactOpt, OPT_K_BOUNDED_MAX_HORIZON,
+    OPT_K_BOUNDED_MAX_JOBS, OPT_NONPREEMPTIVE_LIMIT, OPT_UNBOUNDED_LIMIT,
+};
+pub use classical::{lawler_moore, moore_hodgson};
+pub use classify::{cs_by_density, cs_by_value, key_classes};
+pub use laminar::{is_laminar, laminarize};
+pub use lsa::{length_classes, lsa, lsa_cs, lsa_in_order, LsaOutcome};
+pub use migrative::{global_edf, GlobalEdfOutcome, MigrativeSchedule};
+pub use multi::iterative_multi_machine;
+pub use nonpreemptive::{best_single_job, schedule_k0};
+pub use reduction::{reduce_to_k_bounded, reduce_to_k_bounded_with, KbasSolver, ReductionOutcome};
+pub use sforest::{reconstruct, schedule_forest, ScheduleForest};

@@ -1,0 +1,378 @@
+//! Algorithm 2: the Leftmost Schedule Algorithm (`LSA`) and its
+//! classify-and-select wrapper (`LSA_CS`), for *lax* jobs (§4.3.2).
+//!
+//! `LSA` considers jobs in descending *density* order (`σ_j = val(j)/p_j` —
+//! the paper's key difference from Albagli-Kim et al., who sorted by value)
+//! and tries to place each job into at most `k + 1` idle segments of the
+//! timeline, keeping a working set `S` of candidate idle segments: start
+//! with the `k + 1` leftmost idle segments in `[r_j, d_j)`; while the job
+//! does not fit, drop the shortest member of `S` and admit the next idle
+//! segment to the right; give up when the window's idle segments are
+//! exhausted.
+//!
+//! `LSA_CS` first splits the jobs into length classes
+//! `(k+1)^{c-1} ≤ p_j < (k+1)^c` — within a class the length ratio is at
+//! most `k + 1`, which is what the load argument of Lemma 4.12 needs — runs
+//! `LSA` per class on its own empty machine, and returns the best class.
+//! Lemma 4.10: on lax input (`λ_j ≥ k+1` for all `j`),
+//! `val(LSA_CS) ≥ val(OPT_∞) / (6 · log_{k+1} P)`.
+
+use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet, Time, Timeline};
+
+/// Result of an `LSA` / `LSA_CS` run.
+#[derive(Clone, Debug)]
+pub struct LsaOutcome {
+    /// The accepted jobs, in acceptance (density) order.
+    pub accepted: Vec<JobId>,
+    /// The rejected jobs.
+    pub rejected: Vec<JobId>,
+    /// The schedule of the accepted jobs (single machine 0).
+    pub schedule: Schedule,
+}
+
+impl LsaOutcome {
+    /// Total value of the accepted jobs.
+    pub fn value(&self, jobs: &JobSet) -> f64 {
+        self.schedule.value(jobs)
+    }
+}
+
+/// Sorts ids by descending density, tie-broken by id for determinism.
+fn density_order(jobs: &JobSet, ids: &[JobId]) -> Vec<JobId> {
+    let mut v = ids.to_vec();
+    v.sort_by(|&a, &b| {
+        jobs.job(b)
+            .density()
+            .partial_cmp(&jobs.job(a).density())
+            .expect("finite densities")
+            .then(a.cmp(&b))
+    });
+    v
+}
+
+/// The inner Leftmost Schedule Algorithm on a single machine.
+///
+/// Callers wanting the paper's guarantee must pass lax jobs of bounded
+/// length ratio (`LSA_CS` arranges both); the function itself accepts any
+/// jobs and simply produces a feasible `k`-preemptive schedule greedily.
+pub fn lsa(jobs: &JobSet, ids: &[JobId], k: u32) -> LsaOutcome {
+    lsa_in_order(jobs, &density_order(jobs, ids), k)
+}
+
+/// `LSA` with a caller-supplied consideration order (the paper sorts by
+/// density; Albagli-Kim et al. sorted by value — `classify.rs` uses this to
+/// implement their `O(log ρ)` / `O(log σ)` classify-and-select variants).
+pub fn lsa_in_order(jobs: &JobSet, ordered_ids: &[JobId], k: u32) -> LsaOutcome {
+    let mut timeline = Timeline::new();
+    let mut out = LsaOutcome {
+        accepted: Vec::new(),
+        rejected: Vec::new(),
+        schedule: Schedule::new(),
+    };
+    let slots = k as usize + 1;
+    for &j in ordered_ids {
+        let job = jobs.job(j);
+        let idle_all = timeline.idle_within(&job.window());
+        let idle: &[Interval] = idle_all.segments();
+        let placed = place_into_k_slots(&mut timeline, idle, job.length, slots);
+        match placed {
+            Some(segs) => {
+                out.schedule.assign_single(j, segs);
+                out.accepted.push(j);
+            }
+            None => out.rejected.push(j),
+        }
+    }
+    out
+}
+
+/// The `S`-window scan of Algorithm 2 lines 12–20: keep a working set of at
+/// most `slots` idle segments; if the job fits, fill leftmost; otherwise
+/// drop the shortest and slide in the next idle segment to the right.
+fn place_into_k_slots(
+    timeline: &mut Timeline,
+    idle: &[Interval],
+    length: Time,
+    slots: usize,
+) -> Option<SegmentSet> {
+    if idle.is_empty() {
+        return None;
+    }
+    // Working set S: indices into `idle` (kept sorted by position).
+    let mut s: Vec<usize> = (0..slots.min(idle.len())).collect();
+    let mut next = s.len();
+    loop {
+        let total: Time = s.iter().map(|&i| idle[i].len()).sum();
+        if total >= length {
+            let members: Vec<Interval> = s.iter().map(|&i| idle[i]).collect();
+            return timeline.fill_leftmost(&members, length);
+        }
+        if next >= idle.len() {
+            return None;
+        }
+        // Remove the shortest member of S, admit the next idle segment.
+        let (pos, _) = s
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| (idle[i].len(), i))
+            .expect("S non-empty");
+        s.remove(pos);
+        s.push(next);
+        next += 1;
+    }
+}
+
+/// Length classes for classify-and-select: class `c` holds jobs with
+/// `base^c ≤ p_j / p_min < base^(c+1)` (0-indexed). Within a class the
+/// length ratio is `< base`.
+pub fn length_classes(jobs: &JobSet, ids: &[JobId], base: u32) -> Vec<Vec<JobId>> {
+    assert!(base >= 2, "classify-and-select needs base ≥ 2");
+    let Some(p_min) = ids.iter().map(|&j| jobs.job(j).length).min() else {
+        return Vec::new();
+    };
+    let mut classes: Vec<Vec<JobId>> = Vec::new();
+    for &j in ids {
+        // Exact integer class index: largest c with base^c ≤ p / p_min.
+        let mut c = 0usize;
+        let mut bound = p_min;
+        while jobs.job(j).length >= bound.saturating_mul(base as Time) {
+            bound = bound.saturating_mul(base as Time);
+            c += 1;
+        }
+        if classes.len() <= c {
+            classes.resize_with(c + 1, Vec::new);
+        }
+        classes[c].push(j);
+    }
+    classes
+}
+
+/// `LSA_CS` (Algorithm 2, outer procedure): classify the jobs by length into
+/// `(k+1)`-ratio classes, run `LSA` on each class separately (each on an
+/// empty machine), and return the best class's outcome.
+///
+/// For the Lemma 4.10 guarantee the input should be lax (`λ_j ≥ k + 1`);
+/// the function itself works on any input.
+///
+/// ```
+/// use pobp_core::{Job, JobId, JobSet};
+/// use pobp_sched::lsa_cs;
+///
+/// let jobs: JobSet = vec![
+///     Job::new(0, 40, 4, 8.0),   // lax, dense
+///     Job::new(0, 40, 4, 2.0),   // lax, sparse
+/// ].into_iter().collect();
+/// let out = lsa_cs(&jobs, &[JobId(0), JobId(1)], 1);
+/// out.schedule.verify(&jobs, Some(1)).unwrap();
+/// assert_eq!(out.accepted.len(), 2);
+/// ```
+pub fn lsa_cs(jobs: &JobSet, ids: &[JobId], k: u32) -> LsaOutcome {
+    // Classes of length ratio < k+1 (for k = 0 we still need ratio-2
+    // classes; §5 uses exactly that).
+    let base = (k + 1).max(2);
+    let classes = length_classes(jobs, ids, base);
+    let mut best: Option<LsaOutcome> = None;
+    let mut best_value = -1.0f64;
+    for class in &classes {
+        if class.is_empty() {
+            continue;
+        }
+        let out = lsa(jobs, class, k);
+        let v = out.value(jobs);
+        if v > best_value {
+            best_value = v;
+            best = Some(out);
+        }
+    }
+    best.unwrap_or(LsaOutcome {
+        accepted: Vec::new(),
+        rejected: Vec::new(),
+        schedule: Schedule::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_core::Job;
+
+    fn ids_of(n: usize) -> Vec<JobId> {
+        (0..n).map(JobId).collect()
+    }
+
+    #[test]
+    fn single_job_goes_leftmost() {
+        let jobs: JobSet = vec![Job::new(3, 30, 5, 1.0)].into_iter().collect();
+        let out = lsa(&jobs, &ids_of(1), 1);
+        assert_eq!(out.accepted, vec![JobId(0)]);
+        assert_eq!(
+            out.schedule.segments(JobId(0)).unwrap().segments(),
+            &[Interval::new(3, 8)]
+        );
+        out.schedule.verify(&jobs, Some(1)).unwrap();
+    }
+
+    #[test]
+    fn density_order_wins_contention() {
+        // Two jobs fighting for the same region; the denser one is placed
+        // first and the other must go to its right.
+        let jobs: JobSet = vec![
+            Job::new(0, 20, 5, 5.0),  // density 1.0
+            Job::new(0, 20, 5, 10.0), // density 2.0 — goes first
+        ]
+        .into_iter()
+        .collect();
+        let out = lsa(&jobs, &ids_of(2), 0);
+        assert_eq!(out.accepted, vec![JobId(1), JobId(0)]);
+        assert_eq!(
+            out.schedule.segments(JobId(1)).unwrap().segments(),
+            &[Interval::new(0, 5)]
+        );
+        assert_eq!(
+            out.schedule.segments(JobId(0)).unwrap().segments(),
+            &[Interval::new(5, 10)]
+        );
+    }
+
+    #[test]
+    fn splits_across_k_plus_one_idle_segments() {
+        // Pre-occupy the middle so the only room is two fragments; with
+        // k = 1 the job may split, with k = 0 it must reject.
+        let jobs: JobSet = vec![
+            Job::new(4, 12, 8, 1.0),  // blocker: occupies [4,12)
+            Job::new(0, 16, 8, 0.5),  // needs [0,4) ∪ [12,16)
+        ]
+        .into_iter()
+        .collect();
+        let out = lsa(&jobs, &ids_of(2), 1);
+        assert_eq!(out.accepted.len(), 2);
+        let segs = out.schedule.segments(JobId(1)).unwrap();
+        assert_eq!(
+            segs.segments(),
+            &[Interval::new(0, 4), Interval::new(12, 16)]
+        );
+        out.schedule.verify(&jobs, Some(1)).unwrap();
+
+        let out0 = lsa(&jobs, &ids_of(2), 0);
+        assert_eq!(out0.accepted, vec![JobId(0)]);
+        assert_eq!(out0.rejected, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn slide_window_replaces_shortest() {
+        // Idle pattern: [0,1), [2,3), [4,10) (after blockers), k = 1 →
+        // S starts as {[0,1),[2,3)} (total 2 < 4), drops the shortest
+        // (leftmost of the two unit slots) and admits [4,10) → fits.
+        let jobs: JobSet = vec![
+            Job::new(1, 3, 1, 10.0),  // blocker [1,2)
+            Job::new(3, 5, 1, 10.0),  // blocker [3,4)
+            Job::new(0, 10, 4, 1.0),  // wants 4 ticks, k+1 = 2 slots
+        ]
+        .into_iter()
+        .collect();
+        let out = lsa(&jobs, &ids_of(3), 1);
+        assert!(out.accepted.contains(&JobId(2)));
+        let segs = out.schedule.segments(JobId(2)).unwrap();
+        assert!(segs.count() <= 2);
+        assert_eq!(segs.total_len(), 4);
+        out.schedule.verify(&jobs, Some(1)).unwrap();
+    }
+
+    #[test]
+    fn rejects_when_window_cannot_fit() {
+        let jobs: JobSet = vec![
+            Job::new(0, 10, 10, 10.0), // fills everything
+            Job::new(0, 10, 1, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let out = lsa(&jobs, &ids_of(2), 3);
+        assert_eq!(out.accepted, vec![JobId(0)]);
+        assert_eq!(out.rejected, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn preemption_bound_always_respected() {
+        // Fragmented timeline forcing multi-segment placements.
+        let mut jv = vec![];
+        // Blockers at every other slot of [0,40).
+        for i in 0..10 {
+            jv.push(Job::new(4 * i, 4 * i + 2, 2, 100.0));
+        }
+        // Big lax jobs that must weave between blockers.
+        for _ in 0..3 {
+            jv.push(Job::new(0, 40, 5, 1.0));
+        }
+        let jobs: JobSet = jv.into_iter().collect();
+        for k in 0..4u32 {
+            let out = lsa(&jobs, &ids_of(13), k);
+            out.schedule.verify(&jobs, Some(k)).unwrap();
+        }
+    }
+
+    #[test]
+    fn length_classes_partition_by_ratio() {
+        let jobs: JobSet = vec![
+            Job::new(0, 100, 1, 1.0),
+            Job::new(0, 100, 2, 1.0),
+            Job::new(0, 100, 3, 1.0),
+            Job::new(0, 100, 4, 1.0),
+            Job::new(0, 100, 9, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let classes = length_classes(&jobs, &ids_of(5), 2);
+        // p_min = 1: class 0 = [1,2), class 1 = [2,4), class 2 = [4,8),
+        // class 3 = [8,16).
+        assert_eq!(classes.len(), 4);
+        assert_eq!(classes[0], vec![JobId(0)]);
+        assert_eq!(classes[1], vec![JobId(1), JobId(2)]);
+        assert_eq!(classes[2], vec![JobId(3)]);
+        assert_eq!(classes[3], vec![JobId(4)]);
+        for (c, class) in classes.iter().enumerate() {
+            for &j in class {
+                let ratio = jobs.job(j).length as f64 / 1.0;
+                assert!(ratio >= 2f64.powi(c as i32) && ratio < 2f64.powi(c as i32 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn lsa_cs_picks_best_class() {
+        // Class of short cheap jobs vs class of one long valuable job that
+        // conflicts with them; CS must return the long job's class.
+        let jobs: JobSet = vec![
+            Job::new(0, 4, 1, 1.0),
+            Job::new(4, 8, 1, 1.0),
+            Job::new(0, 64, 16, 100.0),
+        ]
+        .into_iter()
+        .collect();
+        let out = lsa_cs(&jobs, &ids_of(3), 1);
+        assert_eq!(out.accepted, vec![JobId(2)]);
+        assert_eq!(out.value(&jobs), 100.0);
+    }
+
+    #[test]
+    fn lsa_cs_empty_input() {
+        let jobs = JobSet::new();
+        let out = lsa_cs(&jobs, &[], 1);
+        assert!(out.accepted.is_empty());
+        assert!(out.schedule.is_empty());
+    }
+
+    #[test]
+    fn lsa_cs_single_class_equals_lsa() {
+        let jobs: JobSet = vec![
+            Job::new(0, 30, 3, 2.0),
+            Job::new(0, 30, 3, 1.0),
+            Job::new(5, 40, 4, 5.0),
+        ]
+        .into_iter()
+        .collect();
+        let cs = lsa_cs(&jobs, &ids_of(3), 1);
+        let plain = lsa(&jobs, &ids_of(3), 1);
+        assert_eq!(cs.accepted, plain.accepted);
+        assert_eq!(cs.value(&jobs), plain.value(&jobs));
+    }
+}

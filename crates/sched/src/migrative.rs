@@ -1,0 +1,385 @@
+//! The *migrative* multi-machine setting (§4.1 remark, §4.3.4): jobs may
+//! move between identical machines (but never run on two at once).
+//!
+//! The paper treats migration by citation: migration can be eliminated at
+//! the cost of a constant factor (6× machines, Kalyanasundaram–Pruhs [18]),
+//! so all prices carry over in `O` terms. To *measure* that, we need a
+//! migrative scheduler as the reference — this module provides **global
+//! EDF**: at every scheduling event, the `m` released, unfinished jobs with
+//! the earliest deadlines run, one per machine. Global EDF is not
+//! feasibility-optimal on multiprocessors (unlike uniprocessor EDF), but it
+//! is the standard online reference and suffices as a lower-bound witness
+//! for the migrative `OPT_∞` in the experiments.
+//!
+//! A migrative schedule cannot be a [`Schedule`] (which pins each job to
+//! one machine), so it gets its own type with its own Definition 2.1-style
+//! checker.
+
+use pobp_core::{Interval, JobId, JobSet, MachineId, SegmentSet, Time};
+use std::collections::BTreeMap;
+
+/// A migrative schedule: per-job execution pieces, each on some machine.
+#[derive(Clone, Debug, Default)]
+pub struct MigrativeSchedule {
+    /// `pieces[j]` = the job's `(machine, interval)` execution pieces.
+    pieces: BTreeMap<JobId, Vec<(MachineId, Interval)>>,
+}
+
+impl MigrativeSchedule {
+    /// Jobs with at least one piece.
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// The pieces of a job, if scheduled.
+    pub fn pieces(&self, job: JobId) -> Option<&[(MachineId, Interval)]> {
+        self.pieces.get(&job).map(Vec::as_slice)
+    }
+
+    /// Scheduled job ids, ascending.
+    pub fn scheduled_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.pieces.keys().copied()
+    }
+
+    /// Total value of the scheduled jobs.
+    pub fn value(&self, jobs: &JobSet) -> f64 {
+        self.pieces.keys().map(|&j| jobs.job(j).value).sum()
+    }
+
+    /// The job's execution as a time-only segment set (machines ignored).
+    pub fn time_profile(&self, job: JobId) -> SegmentSet {
+        SegmentSet::from_intervals(
+            self.pieces.get(&job).into_iter().flatten().map(|&(_, iv)| iv),
+        )
+    }
+
+    /// Number of *migrations* of a job: adjacent-in-time pieces that switch
+    /// machines.
+    pub fn migrations(&self, job: JobId) -> usize {
+        let Some(pieces) = self.pieces.get(&job) else { return 0 };
+        let mut sorted = pieces.clone();
+        sorted.sort_unstable_by_key(|&(_, iv)| iv.start);
+        sorted.windows(2).filter(|w| w[0].0 != w[1].0).count()
+    }
+
+    /// Checks migrative feasibility: every piece inside the job's window,
+    /// total time = `p_j`, per machine no overlap, and — the migrative
+    /// extra — no job runs on two machines at the same instant.
+    pub fn verify(&self, jobs: &JobSet) -> Result<(), String> {
+        let mut per_machine: BTreeMap<MachineId, Vec<Interval>> = BTreeMap::new();
+        for (&j, pieces) in &self.pieces {
+            let job = jobs.get(j).ok_or_else(|| format!("unknown job {j}"))?;
+            let mut total = 0;
+            let mut own: Vec<Interval> = Vec::new();
+            for &(m, iv) in pieces {
+                if !job.window().contains(&iv) {
+                    return Err(format!("{j}: piece {iv:?} outside window"));
+                }
+                total += iv.len();
+                own.push(iv);
+                per_machine.entry(m).or_default().push(iv);
+            }
+            if total != job.length {
+                return Err(format!("{j}: scheduled {total} of {}", job.length));
+            }
+            own.sort_unstable();
+            for w in own.windows(2) {
+                if w[0].overlaps(&w[1]) {
+                    return Err(format!("{j}: runs on two machines at once"));
+                }
+            }
+        }
+        for (m, mut ivs) in per_machine {
+            ivs.sort_unstable();
+            for w in ivs.windows(2) {
+                if w[0].overlaps(&w[1]) {
+                    return Err(format!("machine {m}: overlap {:?}/{:?}", w[0], w[1]));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a global-EDF run.
+#[derive(Clone, Debug)]
+pub struct GlobalEdfOutcome {
+    /// Schedule of the jobs that completed on time.
+    pub schedule: MigrativeSchedule,
+    /// Jobs that missed their deadlines (aborted, pieces discarded).
+    pub missed: Vec<JobId>,
+}
+
+impl GlobalEdfOutcome {
+    /// Whether every job completed.
+    pub fn is_feasible(&self) -> bool {
+        self.missed.is_empty()
+    }
+}
+
+/// Global EDF on `machines` identical machines: at every event the
+/// `machines` earliest-deadline released, unfinished jobs run (ties by id).
+/// Jobs that cannot finish are aborted at the point of no return and their
+/// pieces discarded.
+///
+/// ```
+/// use pobp_core::{Job, JobId, JobSet};
+/// use pobp_sched::global_edf;
+///
+/// // Two tight jobs in the same window: impossible on one machine.
+/// let jobs: JobSet = vec![Job::new(0, 4, 4, 1.0), Job::new(0, 4, 4, 1.0)]
+///     .into_iter().collect();
+/// let ids = [JobId(0), JobId(1)];
+/// assert!(!global_edf(&jobs, &ids, 1).is_feasible());
+/// let two = global_edf(&jobs, &ids, 2);
+/// assert!(two.is_feasible());
+/// two.schedule.verify(&jobs).unwrap();
+/// ```
+pub fn global_edf(jobs: &JobSet, subset: &[JobId], machines: usize) -> GlobalEdfOutcome {
+    assert!(machines >= 1, "need at least one machine");
+    let mut outcome = GlobalEdfOutcome {
+        schedule: MigrativeSchedule::default(),
+        missed: Vec::new(),
+    };
+    if subset.is_empty() {
+        return outcome;
+    }
+    let mut releases: Vec<(Time, JobId)> =
+        subset.iter().map(|&j| (jobs.job(j).release, j)).collect();
+    releases.sort_unstable();
+    let mut remaining: BTreeMap<JobId, Time> =
+        subset.iter().map(|&j| (j, jobs.job(j).length)).collect();
+    let mut pieces: BTreeMap<JobId, Vec<(MachineId, Interval)>> = BTreeMap::new();
+    // Ready set ordered by (deadline, id).
+    let mut ready: std::collections::BTreeSet<(Time, JobId)> = Default::default();
+    // Affinity: the machine a job last ran on, to avoid gratuitous
+    // migrations (jobs only migrate when their old machine is claimed by a
+    // higher-priority job).
+    let mut last_machine: BTreeMap<JobId, MachineId> = BTreeMap::new();
+    let mut rel_idx = 0usize;
+    let mut t = releases[0].0;
+
+    loop {
+        while rel_idx < releases.len() && releases[rel_idx].0 <= t {
+            let (_, j) = releases[rel_idx];
+            ready.insert((jobs.job(j).deadline, j));
+            rel_idx += 1;
+        }
+        if ready.is_empty() {
+            match releases.get(rel_idx) {
+                Some(&(r, _)) => {
+                    t = r;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // Abort hopeless jobs (cannot finish even running continuously).
+        let hopeless: Vec<(Time, JobId)> = ready
+            .iter()
+            .filter(|&&(d, j)| t + remaining[&j] > d)
+            .copied()
+            .collect();
+        let mut aborted = false;
+        for key in hopeless {
+            ready.remove(&key);
+            pieces.remove(&key.1);
+            outcome.missed.push(key.1);
+            aborted = true;
+        }
+        if aborted && ready.is_empty() {
+            continue;
+        }
+        // The `machines` earliest-deadline jobs run until the next event,
+        // each preferring its previous machine (affinity) before taking a
+        // free one.
+        let running: Vec<JobId> = ready.iter().take(machines).map(|&(_, j)| j).collect();
+        let mut assignment: BTreeMap<JobId, MachineId> = BTreeMap::new();
+        let mut taken = vec![false; machines];
+        for &j in &running {
+            if let Some(&m) = last_machine.get(&j) {
+                if m < machines && !taken[m] {
+                    taken[m] = true;
+                    assignment.insert(j, m);
+                }
+            }
+        }
+        for &j in &running {
+            assignment.entry(j).or_insert_with(|| {
+                let m = taken.iter().position(|&b| !b).expect("enough machines");
+                taken[m] = true;
+                m
+            });
+        }
+        let mut until = running
+            .iter()
+            .map(|j| t + remaining[j])
+            .min()
+            .expect("running non-empty");
+        if let Some(&(r, _)) = releases.get(rel_idx) {
+            if r > t {
+                until = until.min(r);
+            }
+        }
+        // Also stop at the earliest deadline among running jobs (abort point).
+        let d_min = running.iter().map(|&j| jobs.job(j).deadline).min().unwrap();
+        until = until.min(d_min);
+        debug_assert!(until > t);
+        for &j in &running {
+            let m = assignment[&j];
+            last_machine.insert(j, m);
+            pieces.entry(j).or_default().push((m, Interval::new(t, until)));
+            let rem = remaining.get_mut(&j).unwrap();
+            *rem -= until - t;
+            if *rem == 0 {
+                ready.remove(&(jobs.job(j).deadline, j));
+                outcome
+                    .schedule
+                    .pieces
+                    .insert(j, pieces.remove(&j).expect("pieces recorded"));
+            }
+        }
+        t = until;
+    }
+    for &(_, j) in &ready {
+        if remaining[&j] > 0 {
+            outcome.missed.push(j);
+        }
+    }
+    while rel_idx < releases.len() {
+        outcome.missed.push(releases[rel_idx].1);
+        rel_idx += 1;
+    }
+    outcome.missed.sort_unstable();
+    outcome.missed.dedup();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_core::Job;
+
+    fn ids_of(n: usize) -> Vec<JobId> {
+        (0..n).map(JobId).collect()
+    }
+
+    #[test]
+    fn single_machine_matches_edf_value() {
+        let jobs: JobSet = vec![
+            Job::new(0, 20, 8, 1.0),
+            Job::new(2, 10, 4, 1.0),
+            Job::new(3, 7, 2, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let g = global_edf(&jobs, &ids_of(3), 1);
+        assert!(g.is_feasible());
+        g.schedule.verify(&jobs).unwrap();
+        let e = crate::edf::edf_schedule(&jobs, &ids_of(3), None);
+        assert_eq!(g.schedule.value(&jobs), e.schedule.value(&jobs));
+    }
+
+    #[test]
+    fn two_machines_fit_overloaded_window() {
+        // Two tight jobs in the same window: infeasible on one machine,
+        // trivial on two.
+        let jobs: JobSet = vec![Job::new(0, 4, 4, 1.0), Job::new(0, 4, 4, 1.0)]
+            .into_iter()
+            .collect();
+        assert!(!global_edf(&jobs, &ids_of(2), 1).is_feasible());
+        let g = global_edf(&jobs, &ids_of(2), 2);
+        assert!(g.is_feasible());
+        g.schedule.verify(&jobs).unwrap();
+    }
+
+    #[test]
+    fn migration_happens_and_is_counted() {
+        // A runs on m1 (B holds m0), gets bumped by tight C which claims
+        // m1; when A resumes, m1 is still held by C, so A migrates to m0.
+        let jobs: JobSet = vec![
+            Job::new(0, 30, 10, 1.0), // A: long, latest deadline
+            Job::new(0, 6, 6, 1.0),   // B: tight, holds m0 until t=6
+            Job::new(2, 8, 5, 1.0),   // C: tight, bumps A at t=2
+        ]
+        .into_iter()
+        .collect();
+        let g = global_edf(&jobs, &ids_of(3), 2);
+        assert!(g.is_feasible());
+        g.schedule.verify(&jobs).unwrap();
+        assert!(
+            g.schedule.migrations(JobId(0)) >= 1,
+            "pieces: {:?}",
+            g.schedule.pieces(JobId(0))
+        );
+    }
+
+    #[test]
+    fn affinity_avoids_gratuitous_migration() {
+        // A is preempted and resumes while its old machine is free: with
+        // affinity it must not migrate.
+        let jobs: JobSet = vec![
+            Job::new(0, 30, 10, 1.0), // A
+            Job::new(2, 7, 5, 1.0),   // tight single competitor
+        ]
+        .into_iter()
+        .collect();
+        let g = global_edf(&jobs, &ids_of(2), 2);
+        assert!(g.is_feasible());
+        assert_eq!(g.schedule.migrations(JobId(0)), 0);
+    }
+
+    #[test]
+    fn value_monotone_in_machines() {
+        let jobs: JobSet = (0..6).map(|_| Job::new(0, 10, 10, 1.0)).collect();
+        let mut prev = -1.0;
+        for m in 1..=6 {
+            let g = global_edf(&jobs, &ids_of(6), m);
+            g.schedule.verify(&jobs).unwrap();
+            let v = g.schedule.value(&jobs);
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert_eq!(prev, 6.0);
+    }
+
+    #[test]
+    fn verify_catches_double_running() {
+        let jobs: JobSet = vec![Job::new(0, 10, 4, 1.0)].into_iter().collect();
+        let mut s = MigrativeSchedule::default();
+        s.pieces.insert(
+            JobId(0),
+            vec![(0, Interval::new(0, 2)), (1, Interval::new(1, 3))],
+        );
+        assert!(s.verify(&jobs).is_err());
+    }
+
+    #[test]
+    fn time_profile_merges_pieces() {
+        let jobs: JobSet = vec![Job::new(0, 10, 4, 1.0)].into_iter().collect();
+        let mut s = MigrativeSchedule::default();
+        s.pieces.insert(
+            JobId(0),
+            vec![(0, Interval::new(0, 2)), (1, Interval::new(2, 4))],
+        );
+        s.verify(&jobs).unwrap();
+        assert_eq!(
+            s.time_profile(JobId(0)),
+            SegmentSet::singleton(Interval::new(0, 4))
+        );
+        assert_eq!(s.migrations(JobId(0)), 1);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let jobs: JobSet = vec![Job::new(0, 5, 2, 1.0)].into_iter().collect();
+        let g = global_edf(&jobs, &[], 2);
+        assert!(g.is_feasible());
+        assert!(g.schedule.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! The `k = 0` special case (§5): no preemption allowed at all, while the
+//! hypothetical competitor preempts freely.
+//!
+//! The paper's upper bound combines two trivial-to-state algorithms:
+//!
+//! * the en-bloc `LSA_CS` — classes of length-ratio ≤ 2, density order,
+//!   leftmost single idle slot — achieving `val ≥ OPT_∞ / (3 log P)`;
+//! * the best-single-job schedule, achieving `val ≥ OPT_∞ / n`;
+//!
+//! taking the better of the two gives `PoBP_0 = O(min{n, log P})`, which
+//! Figure 2 shows is tight.
+
+use crate::lsa::{lsa_cs, LsaOutcome};
+use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet};
+
+/// Schedules the single job of maximal value at its release time.
+///
+/// The `n`-competitive half of the §5 upper bound: `OPT_∞` schedules at most
+/// `n` jobs, each worth at most the maximum value.
+pub fn best_single_job(jobs: &JobSet, ids: &[JobId]) -> LsaOutcome {
+    let mut out = LsaOutcome {
+        accepted: Vec::new(),
+        rejected: ids.to_vec(),
+        schedule: Schedule::new(),
+    };
+    let Some(&best) = ids.iter().max_by(|&&a, &&b| {
+        jobs.job(a)
+            .value
+            .partial_cmp(&jobs.job(b).value)
+            .expect("finite values")
+            .then(b.cmp(&a))
+    }) else {
+        return out;
+    };
+    let job = jobs.job(best);
+    out.accepted.push(best);
+    out.rejected.retain(|&j| j != best);
+    out.schedule.assign_single(
+        best,
+        SegmentSet::singleton(Interval::with_len(job.release, job.length)),
+    );
+    out
+}
+
+/// The §5 non-preemptive algorithm: better of en-bloc `LSA_CS` (length
+/// classes of ratio ≤ 2) and the best single job.
+///
+/// Guarantee: `val ≥ OPT_∞ / O(min{n, log P})`, and this is tight
+/// (Figure 2 / the `pobp-instances` generator).
+///
+/// ```
+/// use pobp_core::{Job, JobId, JobSet};
+/// use pobp_sched::schedule_k0;
+///
+/// let jobs: JobSet = vec![
+///     Job::new(0, 8, 4, 2.0),
+///     Job::new(0, 12, 4, 1.0),
+/// ].into_iter().collect();
+/// let out = schedule_k0(&jobs, &[JobId(0), JobId(1)]);
+/// out.schedule.verify(&jobs, Some(0)).unwrap(); // zero preemptions
+/// assert_eq!(out.accepted.len(), 2);
+/// ```
+pub fn schedule_k0(jobs: &JobSet, ids: &[JobId]) -> LsaOutcome {
+    let cs = lsa_cs(jobs, ids, 0);
+    let single = best_single_job(jobs, ids);
+    if cs.value(jobs) >= single.value(jobs) {
+        cs
+    } else {
+        single
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_core::Job;
+
+    fn ids_of(n: usize) -> Vec<JobId> {
+        (0..n).map(JobId).collect()
+    }
+
+    #[test]
+    fn best_single_picks_max_value() {
+        let jobs: JobSet = vec![
+            Job::new(0, 10, 2, 1.0),
+            Job::new(0, 10, 2, 9.0),
+            Job::new(0, 10, 2, 4.0),
+        ]
+        .into_iter()
+        .collect();
+        let out = best_single_job(&jobs, &ids_of(3));
+        assert_eq!(out.accepted, vec![JobId(1)]);
+        assert_eq!(out.value(&jobs), 9.0);
+        assert_eq!(out.rejected.len(), 2);
+        out.schedule.verify(&jobs, Some(0)).unwrap();
+    }
+
+    #[test]
+    fn best_single_empty() {
+        let out = best_single_job(&JobSet::new(), &[]);
+        assert!(out.accepted.is_empty());
+    }
+
+    #[test]
+    fn k0_schedule_is_always_en_bloc() {
+        let jobs: JobSet = vec![
+            Job::new(0, 30, 5, 1.0),
+            Job::new(0, 30, 5, 2.0),
+            Job::new(3, 12, 5, 3.0),
+        ]
+        .into_iter()
+        .collect();
+        let out = schedule_k0(&jobs, &ids_of(3));
+        out.schedule.verify(&jobs, Some(0)).unwrap();
+        for j in &out.accepted {
+            assert_eq!(out.schedule.preemptions(*j), 0);
+        }
+    }
+
+    #[test]
+    fn k0_beats_single_when_packing_possible() {
+        // Four disjoint unit jobs: LSA_CS takes all, single takes one.
+        let jobs: JobSet = (0..4).map(|i| Job::new(3 * i, 3 * i + 2, 2, 1.0)).collect();
+        let out = schedule_k0(&jobs, &ids_of(4));
+        assert_eq!(out.accepted.len(), 4);
+        assert_eq!(out.value(&jobs), 4.0);
+    }
+
+    #[test]
+    fn k0_falls_back_to_single_heavy_job() {
+        // One huge-value long job conflicting with many cheap short ones in
+        // a *different* length class; single-job fallback must win if the
+        // class selection somehow fails — here CS already finds it, so just
+        // check the value is the max of both strategies.
+        let mut v = vec![Job::new(0, 200, 100, 50.0)];
+        for i in 0..8 {
+            v.push(Job::new(10 * i, 10 * i + 3, 3, 1.0));
+        }
+        let jobs: JobSet = v.into_iter().collect();
+        let n = jobs.len();
+        let out = schedule_k0(&jobs, &ids_of(n));
+        assert!(out.value(&jobs) >= 50.0);
+        out.schedule.verify(&jobs, Some(0)).unwrap();
+    }
+}

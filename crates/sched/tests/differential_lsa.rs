@@ -1,0 +1,139 @@
+//! Differential testing of `lsa` against a *literal transliteration* of the
+//! paper's Algorithm 2 pseudocode (lines 9–22). The production
+//! implementation uses an index-based working set and a shared `Timeline`;
+//! the reference below re-reads the idle segments on every loop iteration,
+//! exactly as the pseudocode is written. Both must accept the same jobs and
+//! place them identically.
+
+use pobp_core::{Interval, Job, JobId, JobSet, Schedule, SegmentSet, Time, Timeline};
+use pobp_sched::lsa;
+use proptest::prelude::*;
+
+/// Line-by-line Algorithm 2 `LSA()`:
+///
+/// ```text
+/// 10  Sort J in descending order of the jobs density;
+/// 11  foreach j ∈ J do
+/// 12      Let S be the set of the leftmost k + 1 idle segments in [r_j, d_j];
+/// 13      repeat
+/// 14          if j fits into the segments in S then
+/// 15              Schedule j in members of S in the leftmost possible way;
+/// 16              break;
+/// 17          else
+/// 18              Remove shortest segment from S and replace it with the
+/// 19              next idle segment in [r_j, d_j];
+/// 20      until all idle segments are exhausted;
+/// 21  end foreach
+/// ```
+fn lsa_reference(jobs: &JobSet, ids: &[JobId], k: u32) -> Schedule {
+    // Line 10.
+    let mut order = ids.to_vec();
+    order.sort_by(|&a, &b| {
+        jobs.job(b)
+            .density()
+            .partial_cmp(&jobs.job(a).density())
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut timeline = Timeline::new();
+    let mut schedule = Schedule::new();
+    // Line 11.
+    for j in order {
+        let job = jobs.job(j);
+        let idle: Vec<Interval> =
+            timeline.idle_within(&job.window()).segments().to_vec();
+        // Line 12: the leftmost k+1 idle segments.
+        let mut s: Vec<Interval> = idle.iter().take(k as usize + 1).copied().collect();
+        let mut next_idx = s.len();
+        // Lines 13–20.
+        loop {
+            let total: Time = s.iter().map(Interval::len).sum();
+            if total >= job.length && !s.is_empty() {
+                // Line 15: leftmost possible placement inside S.
+                let mut members = s.clone();
+                members.sort_unstable_by_key(|iv| iv.start);
+                let mut remaining = job.length;
+                let mut placed = Vec::new();
+                for m in members {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = remaining.min(m.len());
+                    placed.push(Interval::with_len(m.start, take));
+                    remaining -= take;
+                }
+                let set = SegmentSet::from_intervals(placed);
+                timeline.allocate(&set).expect("idle by construction");
+                schedule.assign_single(j, set);
+                break;
+            }
+            // Line 20: all idle segments exhausted.
+            if next_idx >= idle.len() {
+                break;
+            }
+            // Lines 18–19: drop the shortest, admit the next to the right.
+            let (pos, _) = s
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, iv)| (iv.len(), *i))
+                .expect("S non-empty");
+            s.remove(pos);
+            s.push(idle[next_idx]);
+            next_idx += 1;
+        }
+    }
+    schedule
+}
+
+fn arb_jobs(max_n: usize) -> impl Strategy<Value = JobSet> {
+    proptest::collection::vec((0i64..60, 1i64..12, 0i64..40, 1u32..20), 1..=max_n).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .map(|(r, p, slack, v)| Job::new(r, r + p + slack, p, v as f64))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn production_lsa_matches_pseudocode(jobs in arb_jobs(18), k in 0u32..5) {
+        let ids: Vec<JobId> = jobs.ids().collect();
+        let fast = lsa(&jobs, &ids, k);
+        let reference = lsa_reference(&jobs, &ids, k);
+        // Same accepted set…
+        let a: Vec<JobId> = fast.schedule.scheduled_ids().collect();
+        let b: Vec<JobId> = reference.scheduled_ids().collect();
+        prop_assert_eq!(&a, &b, "accepted sets differ (k={})", k);
+        // …and identical placements.
+        for &j in &a {
+            prop_assert_eq!(
+                fast.schedule.segments(j).unwrap(),
+                reference.segments(j).unwrap(),
+                "placement of {} differs (k={})", j, k
+            );
+        }
+    }
+}
+
+#[test]
+fn reference_agrees_on_the_unit_examples() {
+    // The same cases the unit tests pin down for the production version.
+    let jobs: JobSet = vec![
+        Job::new(4, 12, 8, 1.0),
+        Job::new(0, 16, 8, 0.5),
+    ]
+    .into_iter()
+    .collect();
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let r = lsa_reference(&jobs, &ids, 1);
+    assert_eq!(
+        r.segments(JobId(1)).unwrap().segments(),
+        &[Interval::new(0, 4), Interval::new(12, 16)]
+    );
+    let r0 = lsa_reference(&jobs, &ids, 0);
+    assert!(r0.segments(JobId(1)).is_none());
+}

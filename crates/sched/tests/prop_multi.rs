@@ -1,0 +1,104 @@
+//! Property tests for the multi-machine extensions: the §4.3.4 iterative
+//! non-migrative scheme and the migrative global-EDF reference.
+
+use pobp_core::{Job, JobId, JobSet};
+use pobp_sched::{
+    global_edf, greedy_unbounded, iterative_multi_machine, lsa_cs, reduce_to_k_bounded,
+    schedule_k0,
+};
+use proptest::prelude::*;
+
+fn arb_jobs(max_n: usize) -> impl Strategy<Value = JobSet> {
+    proptest::collection::vec((0i64..40, 1i64..8, 0i64..16, 1u32..10), 1..=max_n).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .map(|(r, p, slack, v)| Job::new(r, r + p + slack, p, v as f64))
+                .collect()
+        },
+    )
+}
+
+fn all_ids(jobs: &JobSet) -> Vec<JobId> {
+    jobs.ids().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn iterative_machines_value_monotone(jobs in arb_jobs(16), k in 0u32..3) {
+        let ids = all_ids(&jobs);
+        let mut prev = -1.0f64;
+        for m in 1..=4usize {
+            let s = iterative_multi_machine(&jobs, &ids, m, |js, rem| {
+                lsa_cs(js, rem, k).schedule
+            });
+            s.verify(&jobs, Some(k)).unwrap();
+            let v = s.value(&jobs);
+            prop_assert!(v >= prev - 1e-9, "m={m}");
+            prev = v;
+        }
+        // With n machines every singleton job fits (each job alone is
+        // feasible, and LSA always accepts onto an empty machine).
+        let s = iterative_multi_machine(&jobs, &ids, jobs.len(), |js, rem| {
+            lsa_cs(js, rem, k).schedule
+        });
+        prop_assert_eq!(s.len(), jobs.len());
+    }
+
+    #[test]
+    fn iterative_assignment_is_a_partition(jobs in arb_jobs(14), m in 1usize..4) {
+        let ids = all_ids(&jobs);
+        let s = iterative_multi_machine(&jobs, &ids, m, |js, rem| {
+            schedule_k0(js, rem).schedule
+        });
+        s.verify(&jobs, Some(0)).unwrap();
+        // Machines used form a prefix 0..t of the machine ids.
+        let machines = s.machines();
+        for (i, &mach) in machines.iter().enumerate() {
+            prop_assert_eq!(mach, i);
+        }
+        prop_assert!(machines.len() <= m);
+    }
+
+    #[test]
+    fn migrative_dominates_one_machine_feasibility(jobs in arb_jobs(12), m in 2usize..5) {
+        let ids = all_ids(&jobs);
+        let one = global_edf(&jobs, &ids, 1);
+        let many = global_edf(&jobs, &ids, m);
+        many.schedule.verify(&jobs).unwrap();
+        // Global EDF with more machines completes at least the value of one.
+        prop_assert!(many.schedule.value(&jobs) >= one.schedule.value(&jobs) - 1e-9);
+        // No job is both completed and missed.
+        for j in many.schedule.scheduled_ids() {
+            prop_assert!(!many.missed.contains(&j));
+        }
+    }
+
+    #[test]
+    fn migrative_never_splits_a_tick(jobs in arb_jobs(10), m in 1usize..4) {
+        // verify() covers this, but assert the stronger per-job property:
+        // total executed time equals the job length exactly for completions.
+        let ids = all_ids(&jobs);
+        let g = global_edf(&jobs, &ids, m);
+        for j in g.schedule.scheduled_ids() {
+            let profile = g.schedule.time_profile(j);
+            prop_assert_eq!(profile.total_len(), jobs.job(j).length);
+        }
+    }
+
+    #[test]
+    fn per_machine_reduction_never_migrates(jobs in arb_jobs(14), k in 1u32..3, m in 1usize..4) {
+        let ids = all_ids(&jobs);
+        let multi = iterative_multi_machine(&jobs, &ids, m, |js, rem| {
+            greedy_unbounded(js, rem).schedule
+        });
+        let red = reduce_to_k_bounded(&jobs, &multi, k).unwrap();
+        red.schedule.verify(&jobs, Some(k)).unwrap();
+        for (id, a) in red.schedule.iter() {
+            let orig = multi.assignment(id).expect("kept subset of input");
+            prop_assert_eq!(a.machine, orig.machine);
+        }
+    }
+}

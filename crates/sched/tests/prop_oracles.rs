@@ -1,0 +1,115 @@
+//! Property tests for the exact oracles and the classify-and-select
+//! variants, cross-checking them against each other.
+
+use pobp_core::{Job, JobId, JobSet};
+use pobp_sched::{
+    cs_by_density, cs_by_value, edf_feasible, global_edf, lsa, lsa_cs, opt_k_bounded_small,
+    opt_nonpreemptive, opt_unbounded, schedule_k0,
+};
+use proptest::prelude::*;
+
+fn arb_jobs(max_n: usize, horizon: i64) -> impl Strategy<Value = JobSet> {
+    proptest::collection::vec((0i64..horizon, 1i64..6, 0i64..10, 1u32..10), 1..=max_n).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .map(|(r, p, slack, v)| Job::new(r, r + p + slack, p, v as f64))
+                .collect()
+        },
+    )
+}
+
+fn all_ids(jobs: &JobSet) -> Vec<JobId> {
+    jobs.ids().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn opt_unbounded_dominates_every_algorithm(jobs in arb_jobs(8, 20)) {
+        let ids = all_ids(&jobs);
+        let opt = opt_unbounded(&jobs, &ids);
+        opt.schedule.verify(&jobs, None).unwrap();
+        // Subset is EDF-feasible by construction.
+        prop_assert!(edf_feasible(&jobs, &opt.subset));
+        for k in 0..3u32 {
+            prop_assert!(lsa(&jobs, &ids, k).value(&jobs) <= opt.value + 1e-9);
+            prop_assert!(lsa_cs(&jobs, &ids, k).value(&jobs) <= opt.value + 1e-9);
+            prop_assert!(cs_by_value(&jobs, &ids, k).value(&jobs) <= opt.value + 1e-9);
+            prop_assert!(cs_by_density(&jobs, &ids, k).value(&jobs) <= opt.value + 1e-9);
+        }
+        prop_assert!(schedule_k0(&jobs, &ids).value(&jobs) <= opt.value + 1e-9);
+    }
+
+    #[test]
+    fn opt_unbounded_subset_is_maximal_feasible(jobs in arb_jobs(7, 16)) {
+        // No single additional job can be added to the optimal subset —
+        // otherwise value would improve (all values positive).
+        let ids = all_ids(&jobs);
+        let opt = opt_unbounded(&jobs, &ids);
+        for &extra in &ids {
+            if opt.subset.contains(&extra) {
+                continue;
+            }
+            let mut bigger = opt.subset.clone();
+            bigger.push(extra);
+            prop_assert!(!edf_feasible(&jobs, &bigger),
+                "adding {extra} keeps feasibility but was not chosen");
+        }
+    }
+
+    #[test]
+    fn opt_nonpreemptive_le_opt_unbounded(jobs in arb_jobs(8, 20)) {
+        let ids = all_ids(&jobs);
+        let np = opt_nonpreemptive(&jobs, &ids);
+        np.schedule.verify(&jobs, Some(0)).unwrap();
+        let inf = opt_unbounded(&jobs, &ids);
+        prop_assert!(np.value <= inf.value + 1e-9);
+        // The §5 algorithm never beats the exact OPT_0.
+        prop_assert!(schedule_k0(&jobs, &ids).value(&jobs) <= np.value + 1e-9);
+    }
+
+    #[test]
+    fn tick_oracle_agrees_with_dp_at_k0(jobs in arb_jobs(4, 10)) {
+        let ids = all_ids(&jobs);
+        let dp = opt_nonpreemptive(&jobs, &ids).value;
+        let tick = opt_k_bounded_small(&jobs, &ids, 0);
+        prop_assert!((dp - tick).abs() < 1e-9, "DP={dp} tick={tick}");
+    }
+
+    #[test]
+    fn tick_oracle_converges_to_opt_unbounded(jobs in arb_jobs(4, 10)) {
+        // With k large enough (≥ horizon), OPT_k = OPT_∞.
+        let ids = all_ids(&jobs);
+        let inf = opt_unbounded(&jobs, &ids).value;
+        let big_k = 30u32;
+        let vk = opt_k_bounded_small(&jobs, &ids, big_k);
+        prop_assert!((vk - inf).abs() < 1e-9, "OPT_bigk={vk} OPT_inf={inf}");
+    }
+
+    #[test]
+    fn global_edf_value_at_least_single_edf(jobs in arb_jobs(8, 20), m in 1usize..4) {
+        let ids = all_ids(&jobs);
+        let g = global_edf(&jobs, &ids, m);
+        g.schedule.verify(&jobs).unwrap();
+        let single = global_edf(&jobs, &ids, 1);
+        prop_assert!(g.schedule.value(&jobs) >= single.schedule.value(&jobs) - 1e-9);
+        // With m ≥ n every job fits (each gets its own machine, and every
+        // job alone is feasible by construction p ≤ window).
+        let gm = global_edf(&jobs, &ids, jobs.len());
+        prop_assert!(gm.is_feasible());
+        prop_assert_eq!(gm.schedule.len(), jobs.len());
+    }
+
+    #[test]
+    fn classify_variants_feasible(jobs in arb_jobs(12, 30), k in 0u32..4) {
+        let ids = all_ids(&jobs);
+        for out in [cs_by_value(&jobs, &ids, k), cs_by_density(&jobs, &ids, k)] {
+            out.schedule.verify(&jobs, Some(k)).unwrap();
+            // Accepted/rejected partition the *winning class*, and the
+            // schedule contains exactly the accepted jobs.
+            prop_assert_eq!(out.schedule.len(), out.accepted.len());
+        }
+    }
+}

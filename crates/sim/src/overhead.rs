@@ -1,0 +1,199 @@
+//! Offline overhead analysis of schedules: how much context-switch cost a
+//! given (k-bounded) schedule can absorb without becoming infeasible.
+//!
+//! Complements the online executor: a schedule produced offline (e.g. by the
+//! Theorem 4.2 reduction) is *δ-robust* if the machine can pay `δ` ticks of
+//! switch overhead immediately **before** every context switch using only
+//! idle time — i.e. the plan survives on a machine with that switch cost.
+//! Fewer preemptions ⇒ fewer switch points ⇒ (weakly) more robustness,
+//! which is precisely the trade the paper's `k` buys.
+
+use pobp_core::{Interval, JobId, JobSet, MachineId, Schedule, Time};
+
+/// A context-switch point of a schedule: machine `machine` switches to
+/// `job` at `at` (the previous executed segment belonged to a different job
+/// or there was none).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchPoint {
+    /// Machine on which the switch happens.
+    pub machine: MachineId,
+    /// The job being loaded.
+    pub job: JobId,
+    /// Segment start time.
+    pub at: Time,
+    /// Idle ticks immediately before `at` (available to pay overhead).
+    pub gap_before: Time,
+}
+
+/// Enumerates the context-switch points of a schedule, per machine, in time
+/// order. The first segment on a machine is a switch (cold load) with an
+/// unbounded gap, reported as `Time::MAX / 2` to keep arithmetic safe.
+pub fn switch_points(schedule: &Schedule) -> Vec<SwitchPoint> {
+    let mut out = Vec::new();
+    for machine in schedule.machines() {
+        let mut segs: Vec<(Interval, JobId)> = Vec::new();
+        for (id, a) in schedule.iter() {
+            if a.machine == machine {
+                segs.extend(a.segs.iter().map(|s| (*s, id)));
+            }
+        }
+        segs.sort_unstable_by_key(|(s, _)| (s.start, s.end));
+        let mut prev: Option<(Interval, JobId)> = None;
+        for &(seg, id) in &segs {
+            match prev {
+                None => out.push(SwitchPoint {
+                    machine,
+                    job: id,
+                    at: seg.start,
+                    gap_before: Time::MAX / 2,
+                }),
+                Some((pseg, pid)) => {
+                    if pid != id {
+                        out.push(SwitchPoint {
+                            machine,
+                            job: id,
+                            at: seg.start,
+                            gap_before: seg.start - pseg.end,
+                        });
+                    }
+                }
+            }
+            prev = Some((seg, id));
+        }
+    }
+    out
+}
+
+/// Number of context switches the schedule pays when executed
+/// (cold loads included).
+pub fn switch_count(schedule: &Schedule) -> usize {
+    switch_points(schedule).len()
+}
+
+/// The largest switch cost `δ` the schedule absorbs in place: the minimum
+/// `gap_before` over all warm switch points (cold loads can always be paid
+/// by starting earlier, so they are excluded — callers wanting them
+/// included can inspect [`switch_points`] directly).
+///
+/// Returns `None` when the schedule has no warm switches (then any `δ`
+/// works).
+pub fn max_robust_delta(schedule: &Schedule) -> Option<Time> {
+    switch_points(schedule)
+        .into_iter()
+        .filter(|sp| sp.gap_before < Time::MAX / 2)
+        .map(|sp| sp.gap_before)
+        .min()
+}
+
+/// Whether the schedule remains executable with switch cost `delta`:
+/// every warm switch has at least `delta` idle ticks before it.
+pub fn is_robust(schedule: &Schedule, delta: Time) -> bool {
+    max_robust_delta(schedule).is_none_or(|d| d >= delta)
+}
+
+/// The *net machine efficiency* of running `schedule` with switch cost
+/// `delta`: useful work / (useful work + overhead paid). 1.0 for an empty
+/// schedule.
+pub fn efficiency(jobs: &JobSet, schedule: &Schedule, delta: Time) -> f64 {
+    let work: Time = schedule
+        .scheduled_ids()
+        .map(|j| jobs.job(j).length)
+        .sum();
+    if work == 0 {
+        return 1.0;
+    }
+    let overhead = switch_count(schedule) as Time * delta;
+    work as f64 / (work + overhead) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_core::{Job, SegmentSet};
+
+    fn seg_set(pairs: &[(Time, Time)]) -> SegmentSet {
+        SegmentSet::from_intervals(pairs.iter().map(|&(a, b)| Interval::new(a, b)))
+    }
+
+    /// j0: [0,2) and [7,9); j1: [3,5). Gaps: j1 starts after 1 idle tick,
+    /// j0 resumes after 2 idle ticks.
+    fn nested() -> Schedule {
+        let mut s = Schedule::new();
+        s.assign_single(JobId(0), seg_set(&[(0, 2), (7, 9)]));
+        s.assign_single(JobId(1), seg_set(&[(3, 5)]));
+        s
+    }
+
+    #[test]
+    fn switch_points_enumerated_in_order() {
+        let sp = switch_points(&nested());
+        assert_eq!(sp.len(), 3);
+        assert_eq!(sp[0].job, JobId(0));
+        assert!(sp[0].gap_before >= Time::MAX / 2); // cold load
+        assert_eq!(sp[1], SwitchPoint { machine: 0, job: JobId(1), at: 3, gap_before: 1 });
+        assert_eq!(sp[2], SwitchPoint { machine: 0, job: JobId(0), at: 7, gap_before: 2 });
+    }
+
+    #[test]
+    fn robustness_is_min_warm_gap() {
+        let s = nested();
+        assert_eq!(max_robust_delta(&s), Some(1));
+        assert!(is_robust(&s, 0));
+        assert!(is_robust(&s, 1));
+        assert!(!is_robust(&s, 2));
+    }
+
+    #[test]
+    fn back_to_back_switch_has_zero_robustness() {
+        let mut s = Schedule::new();
+        s.assign_single(JobId(0), seg_set(&[(0, 3)]));
+        s.assign_single(JobId(1), seg_set(&[(3, 5)]));
+        assert_eq!(max_robust_delta(&s), Some(0));
+        assert!(is_robust(&s, 0));
+        assert!(!is_robust(&s, 1));
+    }
+
+    #[test]
+    fn contiguous_single_job_has_no_warm_switches() {
+        let mut s = Schedule::new();
+        s.assign_single(JobId(0), seg_set(&[(0, 5)]));
+        assert_eq!(max_robust_delta(&s), None);
+        assert!(is_robust(&s, 1_000_000));
+        assert_eq!(switch_count(&s), 1); // the cold load
+    }
+
+    #[test]
+    fn adjacent_segments_of_same_job_are_not_switches() {
+        let mut s = Schedule::new();
+        // Same job on both sides of an idle gap: resuming the loaded job is
+        // free in our cost model → not a switch.
+        s.assign_single(JobId(0), seg_set(&[(0, 2), (5, 7)]));
+        assert_eq!(switch_count(&s), 1);
+        assert_eq!(max_robust_delta(&s), None);
+    }
+
+    #[test]
+    fn multi_machine_switches_are_independent() {
+        let mut s = Schedule::new();
+        s.assign(JobId(0), 0, seg_set(&[(0, 2)]));
+        s.assign(JobId(1), 0, seg_set(&[(4, 6)]));
+        s.assign(JobId(2), 1, seg_set(&[(0, 3)]));
+        let sp = switch_points(&s);
+        assert_eq!(sp.len(), 3);
+        assert_eq!(max_robust_delta(&s), Some(2));
+    }
+
+    #[test]
+    fn efficiency_accounts_overhead() {
+        let jobs: JobSet = vec![Job::new(0, 10, 2, 1.0), Job::new(0, 10, 2, 1.0)]
+            .into_iter()
+            .collect();
+        let mut s = Schedule::new();
+        s.assign_single(JobId(0), seg_set(&[(0, 2)]));
+        s.assign_single(JobId(1), seg_set(&[(4, 6)]));
+        // 4 work ticks, 2 switches: at δ = 1 → 4 / 6.
+        assert!((efficiency(&jobs, &s, 1) - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(efficiency(&jobs, &s, 0), 1.0);
+        assert_eq!(efficiency(&jobs, &Schedule::new(), 5), 1.0);
+    }
+}

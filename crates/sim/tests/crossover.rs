@@ -1,0 +1,130 @@
+//! Integration: the paper-motivation crossover — as switch cost grows,
+//! bounding preemptions beats free preemption — plus cross-checks of the
+//! online executor against the offline schedulers from `pobp-sched`.
+
+use pobp_core::{JobId, JobSet};
+use pobp_instances::{LaxityModel, RandomWorkload, ValueModel};
+use pobp_sim::{execute_online, max_robust_delta, switch_count, Policy, SimConfig};
+
+fn workload(n: usize, seed: u64) -> (JobSet, Vec<JobId>) {
+    let jobs = RandomWorkload {
+        n,
+        horizon: n as i64 * 4,
+        length_range: (4, 32),
+        laxity: LaxityModel::Uniform { max: 6.0 },
+        values: ValueModel::Uniform { max: 20 },
+    }
+    .generate(seed);
+    let ids = jobs.ids().collect();
+    (jobs, ids)
+}
+
+#[test]
+fn online_edf_matches_offline_edf_at_zero_cost() {
+    for seed in 0..10u64 {
+        let (jobs, ids) = workload(40, seed);
+        let online = execute_online(&jobs, &ids, SimConfig { policy: Policy::Edf, switch_cost: 0 });
+        let offline = pobp_sched::edf_schedule(&jobs, &ids, None);
+        // Same abort rule, same tie-break → identical completion sets.
+        let a: Vec<JobId> = online.schedule.scheduled_ids().collect();
+        let b: Vec<JobId> = offline.schedule.scheduled_ids().collect();
+        assert_eq!(a, b, "seed={seed}");
+        online.schedule.verify(&jobs, None).unwrap();
+    }
+}
+
+#[test]
+fn budget_policies_respect_definition_2_1() {
+    for seed in 0..8u64 {
+        let (jobs, ids) = workload(50, seed);
+        for k in 0..4u32 {
+            for delta in [0i64, 1, 3] {
+                let out = execute_online(
+                    &jobs,
+                    &ids,
+                    SimConfig { policy: Policy::EdfBudget(k), switch_cost: delta },
+                );
+                out.schedule
+                    .verify(&jobs, Some(k))
+                    .unwrap_or_else(|e| panic!("seed={seed} k={k} δ={delta}: {e}"));
+                out.trace.check().unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn crossover_bounded_beats_unbounded_at_high_switch_cost() {
+    // Aggregate over seeds: at δ = 0 free EDF weakly dominates; at large δ
+    // the k-budgeted policy takes over. We assert the *aggregate* ordering
+    // flips, which is the paper-motivating shape.
+    let mut free_at_zero = 0.0;
+    let mut budget_at_zero = 0.0;
+    let mut free_at_high = 0.0;
+    let mut budget_at_high = 0.0;
+    let high = 8i64;
+    for seed in 0..12u64 {
+        let (jobs, ids) = workload(60, seed);
+        let run = |policy: Policy, delta: i64| {
+            execute_online(&jobs, &ids, SimConfig { policy, switch_cost: delta }).value(&jobs)
+        };
+        free_at_zero += run(Policy::Edf, 0);
+        budget_at_zero += run(Policy::EdfBudget(1), 0);
+        free_at_high += run(Policy::Edf, high);
+        budget_at_high += run(Policy::EdfBudget(1), high);
+    }
+    assert!(
+        free_at_zero >= budget_at_zero - 1e-9,
+        "at δ=0 free preemption should not lose: {free_at_zero} vs {budget_at_zero}"
+    );
+    assert!(
+        budget_at_high > 0.0 && free_at_high > 0.0,
+        "both policies should still schedule something"
+    );
+    let free_drop = free_at_zero - free_at_high;
+    let budget_drop = budget_at_zero - budget_at_high;
+    assert!(
+        free_drop >= budget_drop - 1e-9,
+        "free preemption should pay more for switch cost: drops {free_drop} vs {budget_drop}"
+    );
+}
+
+#[test]
+fn reduction_output_is_more_robust_than_edf() {
+    // The k-bounded reduction has (weakly) fewer switches than the raw EDF
+    // schedule it came from.
+    for seed in 0..8u64 {
+        let (jobs, ids) = workload(50, seed);
+        let inf = pobp_sched::edf_schedule(&jobs, &ids, None).schedule;
+        for k in 0..3u32 {
+            let red = pobp_sched::reduce_to_k_bounded(&jobs, &inf, k).unwrap();
+            assert!(
+                switch_count(&red.schedule) <= switch_count(&inf).max(1),
+                "seed={seed} k={k}"
+            );
+            // Robustness is well-defined (or infinite) on both.
+            let _ = max_robust_delta(&red.schedule);
+        }
+    }
+}
+
+#[test]
+fn nonpreemptive_policy_equals_budget_zero_value() {
+    for seed in 0..8u64 {
+        let (jobs, ids) = workload(40, seed);
+        for delta in [0i64, 2] {
+            let a = execute_online(
+                &jobs,
+                &ids,
+                SimConfig { policy: Policy::NonPreemptive, switch_cost: delta },
+            );
+            let b = execute_online(
+                &jobs,
+                &ids,
+                SimConfig { policy: Policy::EdfBudget(0), switch_cost: delta },
+            );
+            // Both never preempt and use the same dispatch order.
+            assert_eq!(a.value(&jobs), b.value(&jobs), "seed={seed} δ={delta}");
+        }
+    }
+}

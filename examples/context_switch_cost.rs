@@ -1,0 +1,102 @@
+//! The paper's motivating trade-off, measured: context switches cost real
+//! machine time, so *bounding* preemption can beat *free* preemption.
+//!
+//! ```text
+//! cargo run --release --example context_switch_cost
+//! ```
+//!
+//! Runs the overhead-aware online executor (`pobp-sim`) over a workload for
+//! a sweep of switch costs δ, under free EDF, budgeted EDF (k ∈ {0, 1, 2}),
+//! and non-preemptive dispatch, printing the achieved value and the paid
+//! overhead — the crossover appears as δ grows. Then analyses the *offline*
+//! robustness of the Theorem 4.2 reduction outputs.
+
+use pobp::prelude::*;
+
+fn main() {
+    // Bimodal workload: a few long, valuable, fairly lax jobs that EDF will
+    // preempt over and over, plus a steady stream of short tight jobs that
+    // trigger those preemptions. This is where the preemption budget binds.
+    let mut jobs = JobSet::new();
+    for i in 0..8i64 {
+        // Long jobs, staggered, generous windows.
+        jobs.push(Job::new(30 * i, 30 * i + 200, 40, 40.0));
+    }
+    for i in 0..30i64 {
+        // Short jobs every 12 ticks with moderate slack: each one preempts
+        // whatever long job is running (earlier deadline), then hands back.
+        jobs.push(Job::new(12 * i, 12 * i + 8, 3, 3.0));
+    }
+    let ids: Vec<JobId> = jobs.ids().collect();
+    println!(
+        "workload: n = {}, total value {}, P = {:.0}\n",
+        jobs.len(),
+        jobs.total_value(),
+        jobs.length_ratio().unwrap()
+    );
+
+    println!("value achieved by online policies as switch cost δ grows:\n");
+    println!("  δ | EDF (k=∞) | EdfBudget(2) | EdfBudget(1) | EdfBudget(0) | winner");
+    println!("----+-----------+--------------+--------------+--------------+--------");
+    for delta in [0i64, 1, 2, 4, 8, 16, 32] {
+        let run = |policy: Policy| {
+            let out = execute_online(&jobs, &ids, SimConfig { policy, switch_cost: delta });
+            out.value(&jobs)
+        };
+        let vals = [
+            ("EDF", run(Policy::Edf)),
+            ("k=2", run(Policy::EdfBudget(2))),
+            ("k=1", run(Policy::EdfBudget(1))),
+            ("k=0", run(Policy::EdfBudget(0))),
+        ];
+        let winner = vals
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!(
+            " {delta:2} | {:9} | {:12} | {:12} | {:12} | {}",
+            vals[0].1, vals[1].1, vals[2].1, vals[3].1, winner.0
+        );
+    }
+
+    println!("\noverhead accounting at δ = 4:\n");
+    for (name, policy) in [
+        ("EDF      ", Policy::Edf),
+        ("budget k=1", Policy::EdfBudget(1)),
+        ("non-preempt", Policy::NonPreemptive),
+    ] {
+        let out = execute_online(&jobs, &ids, SimConfig { policy, switch_cost: 4 });
+        println!(
+            "{name}: value {:5}, switches {:3}, overhead {:4} ticks, wasted work {:3} ticks, dropped {}",
+            out.value(&jobs),
+            out.trace.switches(),
+            out.trace.overhead_time(),
+            out.trace.work_time()
+                - out
+                    .schedule
+                    .scheduled_ids()
+                    .map(|j| jobs.job(j).length)
+                    .sum::<i64>(),
+            out.dropped.len(),
+        );
+    }
+
+    println!("\noffline robustness of the Theorem 4.2 reduction outputs:\n");
+    println!(" k | value | switches | max robust δ | efficiency @ δ=4");
+    println!("---+-------+----------+--------------+-----------------");
+    let inf = greedy_unbounded(&jobs, &ids);
+    for k in 0..4u32 {
+        let red = reduce_to_k_bounded(&jobs, &inf.schedule, k).unwrap();
+        let robust = max_robust_delta(&red.schedule)
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "∞".into());
+        println!(
+            " {k} | {:5} | {:8} | {robust:>12} | {:.3}",
+            red.schedule.value(&jobs),
+            switch_count(&red.schedule),
+            efficiency(&jobs, &red.schedule, 4),
+        );
+    }
+    println!("\n(fewer allowed preemptions → fewer switches → higher efficiency at a");
+    println!("given δ — the price of bounded preemption buys overhead robustness)");
+}

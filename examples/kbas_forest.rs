@@ -1,0 +1,71 @@
+//! The k-BAS problem stand-alone: pruning a valued hierarchy under a degree
+//! budget.
+//!
+//! ```text
+//! cargo run --release --example kbas_forest
+//! ```
+//!
+//! k-BAS is interesting beyond scheduling: given any valued hierarchy (a
+//! dependency forest, an org chart, a directory tree) where keeping a node
+//! means keeping a connected, degree-bounded piece around it, `TM` finds the
+//! max-value selection. This example runs `TM` and `LevelledContraction` on
+//! random forests and on the adversarial Appendix A tree, comparing optimal
+//! value, guaranteed bound, and runtime-relevant sizes.
+
+use pobp::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    println!("=== random forests: TM (optimal) vs LevelledContraction ===\n");
+    println!("      n | k | total value | TM value | LC value | LC levels | bound log_(k+1) n");
+    println!("--------+---+-------------+----------+----------+-----------+------------------");
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        for &k in &[1u32, 2, 4] {
+            let f = random_forest(n, 0.05, 7 + n as u64);
+            let res = tm(&f, k);
+            let lc = levelled_contraction(&f, k);
+            assert!(is_kbas(&f, &res.keep, k));
+            println!(
+                "{n:7} | {k} | {:11} | {:8} | {:8} | {:9} | {:6.2}",
+                f.total_value(),
+                res.value,
+                lc.value(),
+                lc.iterations(),
+                loss_bound(n, k),
+            );
+            // Optimality sanity: TM ≥ LC always; both within the bound.
+            assert!(res.value >= lc.value());
+            assert!(res.value * loss_bound(n, k) >= f.total_value() - 1e-6);
+        }
+    }
+
+    println!("\n=== the adversarial tree (Appendix A): loss really grows ===\n");
+    let k = 2;
+    println!(" L |      n | loss OPT/TM | closed form");
+    println!("---+--------+-------------+------------");
+    for depth in 1..=6u32 {
+        let lb = LowerBoundTree::for_k(k, depth);
+        let f = lb.build();
+        let res = tm(&f, k);
+        println!(
+            " {depth} | {:6} | {:11.3} | {:10.3}",
+            lb.node_count(),
+            f.total_value() / res.value,
+            lb.expected_loss(k),
+        );
+    }
+
+    println!("\n=== scaling: TM is linear time ===\n");
+    for &n in &[100_000usize, 400_000, 1_600_000] {
+        let f = random_forest(n, 0.02, 99);
+        let t0 = Instant::now();
+        let res = tm(&f, 3);
+        let dt = t0.elapsed();
+        println!(
+            "n = {n:8}: TM value {:12} in {:8.1?} ({:.0} nodes/µs)",
+            res.value,
+            dt,
+            n as f64 / dt.as_micros().max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Bounded preemption on a periodic real-time task set — the workload shape
+//! of the limited-preemption literature the paper cites (§1.2, [11,12,27]).
+//!
+//! ```text
+//! cargo run --release --example periodic_tasks
+//! ```
+//!
+//! Builds an overloaded periodic task set (utilization > 1, so value
+//! selection matters), unrolls one hyperperiod, and compares the paper's
+//! algorithms at several preemption budgets, including execution under
+//! context-switch overheads.
+
+use pobp::prelude::*;
+
+fn main() {
+    // An overloaded task set: U ≈ 1.27, so some jobs must be rejected.
+    let tasks = TaskSet::new(vec![
+        // (C, T, D, value, offset)
+        PeriodicTask { wcet: 3, period: 10, deadline: 6, value: 6.0, offset: 0 },
+        PeriodicTask { wcet: 5, period: 15, deadline: 15, value: 8.0, offset: 2 },
+        PeriodicTask { wcet: 8, period: 30, deadline: 25, value: 10.0, offset: 5 },
+        PeriodicTask { wcet: 4, period: 12, deadline: 9, value: 5.0, offset: 1 },
+        PeriodicTask::implicit(1, 20),
+    ]);
+    println!(
+        "task set: {} tasks, U = {:.2}, hyperperiod = {}",
+        tasks.tasks.len(),
+        tasks.utilization(),
+        tasks.hyperperiod()
+    );
+    let (jobs, task_of) = tasks.unroll_hyperperiod();
+    let ids: Vec<JobId> = jobs.ids().collect();
+    println!(
+        "unrolled: {} jobs, total value {}\n",
+        jobs.len(),
+        jobs.total_value()
+    );
+
+    let inf = greedy_unbounded(&jobs, &ids);
+    println!(
+        "∞-preemptive reference (greedy EDF acceptance): value {}, max preemptions {}\n",
+        inf.schedule.value(&jobs),
+        inf.schedule.max_preemptions()
+    );
+
+    println!(" k | reduction | combined | per-task acceptance (reduction)");
+    println!("---+-----------+----------+--------------------------------");
+    for k in 0..4u32 {
+        let red = reduce_to_k_bounded(&jobs, &inf.schedule, k).unwrap();
+        red.schedule.verify(&jobs, Some(k)).unwrap();
+        let comb = combined_from_scratch(&jobs, &ids, k.max(1));
+        // Acceptance rate per task.
+        let mut per_task = vec![(0usize, 0usize); tasks.tasks.len()];
+        for (i, &t) in task_of.iter().enumerate() {
+            per_task[t].1 += 1;
+            if red.schedule.segments(JobId(i)).is_some() {
+                per_task[t].0 += 1;
+            }
+        }
+        let rates: Vec<String> = per_task
+            .iter()
+            .map(|&(acc, tot)| format!("{acc}/{tot}"))
+            .collect();
+        println!(
+            " {k} | {:9} | {:8} | {}",
+            red.schedule.value(&jobs),
+            comb.chosen.value(&jobs),
+            rates.join("  ")
+        );
+    }
+
+    // Execution under context-switch overheads.
+    println!("\nexecution with switch cost δ (online policies):\n");
+    println!("  δ | EDF value | budget k=1 | budget k=0 | EDF switches | k=1 switches");
+    println!("----+-----------+------------+------------+--------------+-------------");
+    for delta in [0i64, 1, 2, 4] {
+        let edf = execute_online(&jobs, &ids, SimConfig { policy: Policy::Edf, switch_cost: delta });
+        let b1 = execute_online(
+            &jobs,
+            &ids,
+            SimConfig { policy: Policy::EdfBudget(1), switch_cost: delta },
+        );
+        let b0 = execute_online(
+            &jobs,
+            &ids,
+            SimConfig { policy: Policy::EdfBudget(0), switch_cost: delta },
+        );
+        println!(
+            " {delta:2} | {:9} | {:10} | {:10} | {:12} | {:11}",
+            edf.value(&jobs),
+            b1.value(&jobs),
+            b0.value(&jobs),
+            edf.trace.switches(),
+            b1.trace.switches(),
+        );
+    }
+
+    // Round-trip the instance through the text format.
+    let text = write_jobs(&jobs);
+    let back = parse_jobs(&text).expect("own output parses");
+    assert_eq!(back.len(), jobs.len());
+    println!(
+        "\ninstance round-trips through the text format ({} bytes); try:\n  cargo run -q --bin pobp -- gen --kind fig2 --n 6",
+        text.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: schedule a handful of jobs with a preemption budget.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline of the paper on a small instance: exact `OPT_∞`,
+//! the §4.1 reduction to a k-bounded schedule, and the measured price of
+//! bounding preemption.
+
+use pobp::prelude::*;
+
+fn main() {
+    // A small mixed workload: ⟨release, deadline, length, value⟩.
+    let jobs: JobSet = vec![
+        Job::new(0, 40, 25, 10.0), // long, fairly strict
+        Job::new(3, 12, 5, 4.0),   // short, must run early
+        Job::new(14, 22, 4, 3.0),  // short, mid-horizon
+        Job::new(26, 36, 5, 3.0),  // short, late
+        Job::new(0, 200, 8, 5.0),  // very lax
+        Job::new(10, 90, 6, 2.0),  // lax
+    ]
+    .into_iter()
+    .collect();
+    let ids: Vec<JobId> = jobs.ids().collect();
+    println!("{} jobs, total value {}", jobs.len(), jobs.total_value());
+    println!("length ratio P = {:.1}", jobs.length_ratio().unwrap());
+
+    // Exact OPT_∞ (branch-and-bound + EDF): the competitor that may preempt
+    // freely.
+    let opt = opt_unbounded(&jobs, &ids);
+    println!("\nOPT_∞ = {} (schedules {:?})", opt.value, opt.subset);
+    let max_preemptions = opt.schedule.max_preemptions();
+    println!("  EDF witness uses up to {max_preemptions} preemptions per job");
+
+    // Bound the preemptions: reduce the optimal schedule to k-bounded form.
+    println!("\n k | value | price OPT_∞/val | segments used");
+    println!("---+-------+-----------------+--------------");
+    for k in 0..4u32 {
+        let red = reduce_to_k_bounded(&jobs, &opt.schedule, k).expect("feasible input");
+        red.schedule
+            .verify(&jobs, Some(k))
+            .expect("reduction output must be k-feasible");
+        let value = red.schedule.value(&jobs);
+        let worst_segments = red
+            .schedule
+            .scheduled_ids()
+            .map(|j| red.schedule.preemptions(j) + 1)
+            .max()
+            .unwrap_or(0);
+        println!(
+            " {k} | {value:5} | {:15.3} | ≤ {worst_segments}",
+            opt.value / value
+        );
+    }
+
+    // Algorithm 3 (laxity split) run end to end from scratch.
+    let k = 1;
+    let combined = combined_from_scratch(&jobs, &ids, k);
+    println!(
+        "\nAlgorithm 3 (k = {k}): strict branch {}, lax branch {}, chosen {}",
+        combined.strict.value(&jobs),
+        combined.lax.value(&jobs),
+        combined.chosen.value(&jobs),
+    );
+
+    // And the k = 0 special case of §5.
+    let k0 = schedule_k0(&jobs, &ids);
+    println!("§5 non-preemptive algorithm: value {}", k0.value(&jobs));
+    println!(
+        "price at k = 0: {:.3} (bound: min{{n, O(log P)}} = {:.1})",
+        opt.value / k0.value(&jobs),
+        (jobs.len() as f64).min(3.0 * jobs.length_ratio().unwrap().log2().max(1.0))
+    );
+}

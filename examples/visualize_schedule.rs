@@ -1,0 +1,81 @@
+//! Visualize what bounding preemption does to a schedule.
+//!
+//! ```text
+//! cargo run --release --example visualize_schedule
+//! ```
+//!
+//! Renders ASCII Gantt charts of the same workload scheduled with unbounded
+//! preemption (EDF), after the Theorem 4.2 reduction at several `k`, and on
+//! the Figure 2 adversarial instance, plus the schedule statistics the
+//! paper's motivation cares about (context-switch counts).
+
+use pobp::prelude::*;
+
+fn main() {
+    // A nested workload that forces real preemption.
+    let jobs: JobSet = vec![
+        Job::new(0, 26, 12, 6.0),  // outer
+        Job::new(2, 12, 4, 3.0),   // mid, preempts outer
+        Job::new(3, 7, 2, 2.0),    // inner, preempts mid
+        Job::new(14, 20, 3, 2.0),  // second mid
+        Job::new(21, 40, 6, 4.0),  // trailing
+    ]
+    .into_iter()
+    .collect();
+    let ids: Vec<JobId> = jobs.ids().collect();
+
+    let inf = edf_schedule(&jobs, &ids, None);
+    assert!(inf.is_feasible());
+    println!("∞-preemptive EDF schedule (laminar nesting visible):\n");
+    print!("{}", render_gantt(&jobs, &inf.schedule, RenderOptions::default()));
+    let st = schedule_stats(&jobs, &inf.schedule);
+    println!(
+        "\nvalue {} / {}, total preemptions (context switches) = {}, histogram {:?}\n",
+        st.value,
+        jobs.total_value(),
+        st.total_preemptions,
+        st.preemption_histogram
+    );
+
+    for k in [1u32, 0] {
+        let red = reduce_to_k_bounded(&jobs, &inf.schedule, k).unwrap();
+        println!("after the Theorem 4.2 reduction at k = {k}:\n");
+        print!("{}", render_gantt(&jobs, &red.schedule, RenderOptions::default()));
+        let st = schedule_stats(&jobs, &red.schedule);
+        println!(
+            "\nvalue {} ({}% kept), total preemptions = {}\n",
+            st.value,
+            (st.value_fraction * 100.0).round(),
+            st.total_preemptions
+        );
+    }
+
+    // The Figure 2 instance: what "price n" looks like.
+    let inst = Fig2Instance::new(5);
+    let f2jobs = inst.build();
+    println!("Figure 2 instance (n = 5), the 1-preemptive witness:\n");
+    print!(
+        "{}",
+        render_gantt(&f2jobs, &inst.witness_schedule(), RenderOptions::default())
+    );
+    let f2ids: Vec<JobId> = f2jobs.ids().collect();
+    let k0 = schedule_k0(&f2jobs, &f2ids);
+    println!("\nnon-preemptive best (every job covers the center slot):\n");
+    print!("{}", render_gantt(&f2jobs, &k0.schedule, RenderOptions::default()));
+    println!(
+        "\nOPT_∞ = {} vs OPT_0 = {} → price {}",
+        f2jobs.len(),
+        k0.value(&f2jobs),
+        f2jobs.len() as f64 / k0.value(&f2jobs)
+    );
+
+    // Busy/idle profile of machine 0 under LSA_CS.
+    let lax = lsa_cs(&jobs, &ids, 1);
+    if let Some(h) = jobs.horizon() {
+        println!(
+            "\nLSA_CS (k = 1) machine profile over {:?}:\n{}",
+            h,
+            render_timeline(&lax.schedule, 0, h, 72)
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! `pobp` — command-line front end for the Price-of-Bounded-Preemption
+//! library.
+//!
+//! ```text
+//! pobp gen --kind fig2 --n 8                      # emit an instance (text format)
+//! pobp gen --kind random --n 50 --seed 3
+//! pobp gen --kind fig4 --k 2 --depth 3
+//! pobp solve --k 1 --alg combined < jobs.txt      # schedule an instance
+//! pobp solve --k 2 --alg reduction --gantt < jobs.txt
+//! pobp price --k 1 < jobs.txt                     # exact price (small instances)
+//! ```
+//!
+//! The instance format is the one of `pobp::prelude::{write_jobs, parse_jobs}`:
+//! one `release deadline length value` line per job.
+
+use pobp::prelude::*;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("price") => cmd_price(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("choose-k") => cmd_choose_k(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+    .map_or_else(
+        |e| {
+            eprintln!("error: {e}");
+            1
+        },
+        |()| 0,
+    );
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+pobp — The Price of Bounded Preemption (SPAA'18) toolbox
+
+USAGE:
+  pobp gen --kind <fig2|fig4|random|periodic> [--n N] [--k K] [--depth L] [--seed S]
+  pobp solve --k K [--alg <reduction|combined|lsa|k0>] [--gantt] [--svg FILE]
+  pobp price --k K                                                  (instance on stdin)
+  pobp sim --policy <edf|budget|nonpre> [--k K] [--delta D]         (instance on stdin)
+  pobp choose-k --delta D [--kmax K]                                (instance on stdin)
+  pobp replay --plan FILE --delta D                                 (instance on stdin)
+";
+
+/// Tiny flag parser: `--name value` pairs plus boolean `--name` flags.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, name) {
+        Some(v) => v.parse().map_err(|e| format!("{name}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let kind = flag(args, "--kind").ok_or("gen needs --kind")?;
+    let jobs = match kind.as_str() {
+        "fig2" => {
+            let n: u32 = parse_num(args, "--n", 8u32)?;
+            Fig2Instance::new(n).build()
+        }
+        "fig4" => {
+            let k: u32 = parse_num(args, "--k", 1u32)?;
+            let depth: u32 = parse_num(args, "--depth", 3u32)?;
+            Fig4Instance::for_k(k.max(1), depth).build().jobs
+        }
+        "random" => {
+            let n: usize = parse_num(args, "--n", 30usize)?;
+            let seed: u64 = parse_num(args, "--seed", 0u64)?;
+            RandomWorkload::standard(n).generate(seed)
+        }
+        "periodic" => {
+            let seed: u64 = parse_num(args, "--seed", 0u64)?;
+            // A few standard tasks, jittered by the seed.
+            let s = seed as i64 % 5;
+            TaskSet::new(vec![
+                PeriodicTask { wcet: 2 + s % 2, period: 10, deadline: 7, value: 5.0, offset: 0 },
+                PeriodicTask { wcet: 4, period: 15, deadline: 15, value: 7.0, offset: 1 + s },
+                PeriodicTask { wcet: 6, period: 30, deadline: 24, value: 9.0, offset: 2 },
+            ])
+            .unroll_hyperperiod()
+            .0
+        }
+        other => return Err(format!("unknown --kind {other}")),
+    };
+    print!("{}", write_jobs(&jobs));
+    Ok(())
+}
+
+fn read_stdin_jobs() -> Result<JobSet, String> {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .map_err(|e| format!("reading stdin: {e}"))?;
+    let jobs = parse_jobs(&text)?;
+    if jobs.is_empty() {
+        return Err("no jobs on stdin (pipe an instance, e.g. from `pobp gen`)".into());
+    }
+    Ok(jobs)
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let k: u32 = parse_num(args, "--k", 1u32)?;
+    let alg = flag(args, "--alg").unwrap_or_else(|| "combined".into());
+    let jobs = read_stdin_jobs()?;
+    let ids: Vec<JobId> = jobs.ids().collect();
+
+    let schedule = match alg.as_str() {
+        "reduction" => {
+            let inf = greedy_unbounded(&jobs, &ids);
+            reduce_to_k_bounded(&jobs, &inf.schedule, k)
+                .map_err(|e| e.to_string())?
+                .schedule
+        }
+        "combined" => combined_from_scratch(&jobs, &ids, k).chosen,
+        "lsa" => lsa_cs(&jobs, &ids, k).schedule,
+        "k0" => schedule_k0(&jobs, &ids).schedule,
+        other => return Err(format!("unknown --alg {other}")),
+    };
+    let effective_k = if alg == "k0" { 0 } else { k };
+    schedule
+        .verify(&jobs, Some(effective_k))
+        .map_err(|e| format!("internal: produced infeasible schedule: {e}"))?;
+
+    let stats = schedule_stats(&jobs, &schedule);
+    println!(
+        "algorithm {alg}, k = {effective_k}: scheduled {}/{} jobs, value {} ({:.0}% of total), \
+         {} preemptions",
+        stats.scheduled,
+        jobs.len(),
+        stats.value,
+        stats.value_fraction * 100.0,
+        stats.total_preemptions,
+    );
+    for id in schedule.scheduled_ids() {
+        let segs = schedule.segments(id).expect("scheduled");
+        let pretty: Vec<String> =
+            segs.iter().map(|s| format!("[{}, {})", s.start, s.end)).collect();
+        println!("  {id}: {}", pretty.join(" "));
+    }
+    if has_flag(args, "--gantt") {
+        println!();
+        print!("{}", render_gantt(&jobs, &schedule, RenderOptions::default()));
+    }
+    if let Some(path) = flag(args, "--svg") {
+        let svg = render_svg(&jobs, &schedule, SvgOptions::default());
+        std::fs::write(&path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag(args, "--out") {
+        std::fs::write(&path, write_schedule(&schedule))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_price(args: &[String]) -> Result<(), String> {
+    let k: u32 = parse_num(args, "--k", 1u32)?;
+    let jobs = read_stdin_jobs()?;
+    if jobs.len() > 20 {
+        return Err(format!(
+            "exact price needs a small instance (n ≤ 20), got n = {}",
+            jobs.len()
+        ));
+    }
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let opt = opt_unbounded(&jobs, &ids);
+    println!("OPT_∞ = {} ({} jobs)", opt.value, opt.subset.len());
+    let red = reduce_to_k_bounded(&jobs, &opt.schedule, k).map_err(|e| e.to_string())?;
+    println!("reduction value at k = {k}: {}", red.schedule.value(&jobs));
+    let k0 = opt_nonpreemptive(&jobs, &ids);
+    println!("OPT_0 (exact) = {}", k0.value);
+    println!(
+        "price bracket at k = {k}: [{:.3}, {:.3}]   (OPT_∞/OPT_k ∈ [OPT_∞/OPT_∞, OPT_∞/alg])",
+        1.0,
+        opt.value / red.schedule.value(&jobs).max(f64::MIN_POSITIVE)
+    );
+    println!("price at k = 0 (exact): {:.3}", opt.value / k0.value.max(f64::MIN_POSITIVE));
+    println!(
+        "bounds: log_(k+1) n = {:.2}, min(n, 3·log2 P) = {:.2}",
+        loss_bound(jobs.len(), k.max(1)),
+        (jobs.len() as f64).min(3.0 * jobs.length_ratio().unwrap_or(1.0).log2().max(1.0)),
+    );
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let delta: i64 = parse_num(args, "--delta", 0i64)?;
+    let k: u32 = parse_num(args, "--k", 1u32)?;
+    let policy = match flag(args, "--policy").as_deref().unwrap_or("edf") {
+        "edf" => Policy::Edf,
+        "budget" => Policy::EdfBudget(k),
+        "nonpre" => Policy::NonPreemptive,
+        other => return Err(format!("unknown --policy {other}")),
+    };
+    let jobs = read_stdin_jobs()?;
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let out = execute_online(&jobs, &ids, SimConfig { policy, switch_cost: delta });
+    out.trace.check().map_err(|e| format!("internal: inconsistent trace: {e}"))?;
+    println!(
+        "policy {policy:?}, switch cost {delta}: completed {}/{} jobs, value {} of {}",
+        out.schedule.len(),
+        jobs.len(),
+        out.value(&jobs),
+        jobs.total_value(),
+    );
+    println!(
+        "switches {}, overhead {} ticks, useful work {} ticks, wasted work {} ticks",
+        out.trace.switches(),
+        out.trace.overhead_time(),
+        out.trace.work_time(),
+        out.trace.work_time()
+            - out
+                .schedule
+                .scheduled_ids()
+                .map(|j| jobs.job(j).length)
+                .sum::<i64>(),
+    );
+    if !out.dropped.is_empty() {
+        let names: Vec<String> = out.dropped.iter().map(|j| j.to_string()).collect();
+        println!("dropped: {}", names.join(" "));
+    }
+    if has_flag(args, "--trace") {
+        for (t, e) in &out.trace.events {
+            println!("{t:>6}  {e:?}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_choose_k(args: &[String]) -> Result<(), String> {
+    let delta: i64 = parse_num(args, "--delta", 2i64)?;
+    let k_max: u32 = parse_num(args, "--kmax", 4u32)?;
+    let jobs = read_stdin_jobs()?;
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let inf = greedy_unbounded(&jobs, &ids);
+    println!(" k | planned value | replayed value @ δ={delta}");
+    println!("---+---------------+------------------------");
+    for k in 0..=k_max {
+        let plan = reduce_to_k_bounded(&jobs, &inf.schedule, k)
+            .map_err(|e| e.to_string())?
+            .schedule;
+        let replayed = replay_with_overhead(&jobs, &plan, delta);
+        println!(
+            " {k} | {:13} | {}",
+            plan.value(&jobs),
+            replayed.value(&jobs)
+        );
+    }
+    let choice = choose_k(&jobs, &inf.schedule, delta, k_max);
+    println!(
+        "\nrecommendation: k = {} (replayed value {}, vs {} planned)",
+        choice.k, choice.replayed_value, choice.planned_value
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let delta: i64 = parse_num(args, "--delta", 0i64)?;
+    let plan_path = flag(args, "--plan").ok_or("replay needs --plan FILE")?;
+    let jobs = read_stdin_jobs()?;
+    let plan_text =
+        std::fs::read_to_string(&plan_path).map_err(|e| format!("reading {plan_path}: {e}"))?;
+    let plan = parse_schedule(&plan_text)?;
+    plan.verify(&jobs, None)
+        .map_err(|e| format!("plan is infeasible for this instance: {e}"))?;
+    let out = replay_with_overhead(&jobs, &plan, delta);
+    println!(
+        "replayed plan at switch cost {delta}: completed {}/{} planned jobs, value {} of {}",
+        out.schedule.len(),
+        plan.len(),
+        out.value(&jobs),
+        plan.value(&jobs),
+    );
+    println!(
+        "switches {}, overhead {} ticks",
+        out.trace.switches(),
+        out.trace.overhead_time()
+    );
+    if !out.dropped.is_empty() {
+        let names: Vec<String> = out.dropped.iter().map(|j| j.to_string()).collect();
+        println!("dropped: {}", names.join(" "));
+    }
+    Ok(())
+}

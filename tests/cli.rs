@@ -1,0 +1,200 @@
+//! End-to-end tests of the `pobp` CLI binary (spawned as a subprocess).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn pobp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pobp"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = pobp()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn pobp");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    run_with_stdin(args, "")
+}
+
+#[test]
+fn help_prints_usage() {
+    let (out, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(out.contains("USAGE"));
+    assert!(out.contains("pobp gen"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, err, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn gen_fig2_emits_parseable_instance() {
+    let (out, _, ok) = run(&["gen", "--kind", "fig2", "--n", "5"]);
+    assert!(ok);
+    let jobs = pobp::prelude::parse_jobs(&out).expect("CLI output parses");
+    assert_eq!(jobs.len(), 5);
+}
+
+#[test]
+fn gen_rejects_unknown_kind() {
+    let (_, err, ok) = run(&["gen", "--kind", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown --kind"));
+}
+
+#[test]
+fn solve_pipeline_works() {
+    let (instance, _, ok) = run(&["gen", "--kind", "fig2", "--n", "6"]);
+    assert!(ok);
+    for alg in ["reduction", "combined", "lsa", "k0"] {
+        let (out, err, ok) =
+            run_with_stdin(&["solve", "--k", "1", "--alg", alg], &instance);
+        assert!(ok, "alg={alg}: {err}");
+        assert!(out.contains("scheduled"), "alg={alg}");
+    }
+    // The reduction at k = 1 schedules all 6 (Figure 2 needs one preemption).
+    let (out, _, _) = run_with_stdin(&["solve", "--k", "1", "--alg", "reduction"], &instance);
+    assert!(out.contains("scheduled 6/6"), "{out}");
+}
+
+#[test]
+fn solve_gantt_renders() {
+    let (instance, _, _) = run(&["gen", "--kind", "fig2", "--n", "4"]);
+    let (out, _, ok) = run_with_stdin(
+        &["solve", "--k", "1", "--alg", "reduction", "--gantt"],
+        &instance,
+    );
+    assert!(ok);
+    assert!(out.contains('#'), "gantt bars expected:\n{out}");
+}
+
+#[test]
+fn solve_rejects_empty_stdin() {
+    let (_, err, ok) = run_with_stdin(&["solve", "--k", "1"], "");
+    assert!(!ok);
+    assert!(err.contains("no jobs"));
+}
+
+#[test]
+fn solve_rejects_malformed_instance() {
+    let (_, err, ok) = run_with_stdin(&["solve", "--k", "1"], "1 2 3\n");
+    assert!(!ok);
+    assert!(err.contains("4 fields"));
+}
+
+#[test]
+fn price_reports_brackets() {
+    let (instance, _, _) = run(&["gen", "--kind", "fig2", "--n", "5"]);
+    let (out, _, ok) = run_with_stdin(&["price", "--k", "1"], &instance);
+    assert!(ok);
+    assert!(out.contains("OPT_∞ = 5"));
+    assert!(out.contains("OPT_0 (exact) = 1"));
+    assert!(out.contains("price at k = 0 (exact): 5.000"));
+}
+
+#[test]
+fn price_rejects_large_instances() {
+    let (instance, _, _) = run(&["gen", "--kind", "random", "--n", "30"]);
+    let (_, err, ok) = run_with_stdin(&["price", "--k", "1"], &instance);
+    assert!(!ok);
+    assert!(err.contains("small instance"));
+}
+
+#[test]
+fn sim_reports_switch_accounting() {
+    let (instance, _, _) = run(&["gen", "--kind", "periodic"]);
+    let (out, _, ok) = run_with_stdin(
+        &["sim", "--policy", "budget", "--k", "1", "--delta", "2"],
+        &instance,
+    );
+    assert!(ok, "{out}");
+    assert!(out.contains("switch cost 2"));
+    assert!(out.contains("switches"));
+}
+
+#[test]
+fn sim_trace_flag_dumps_events() {
+    let (instance, _, _) = run(&["gen", "--kind", "fig2", "--n", "3"]);
+    let (out, _, ok) = run_with_stdin(&["sim", "--policy", "edf", "--trace"], &instance);
+    assert!(ok);
+    assert!(out.contains("Start"), "{out}");
+    assert!(out.contains("Complete"), "{out}");
+}
+
+#[test]
+fn gen_solve_roundtrip_all_kinds() {
+    for kind in ["fig2", "fig4", "random", "periodic"] {
+        let (instance, err, ok) = run(&["gen", "--kind", kind]);
+        assert!(ok, "gen {kind}: {err}");
+        let (out, err, ok) = run_with_stdin(&["solve", "--k", "2"], &instance);
+        assert!(ok, "solve {kind}: {err}");
+        assert!(out.contains("scheduled"), "{kind}: {out}");
+    }
+}
+
+#[test]
+fn solve_svg_writes_file() {
+    let dir = std::env::temp_dir().join(format!("pobp-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sched.svg");
+    let (instance, _, _) = run(&["gen", "--kind", "fig2", "--n", "4"]);
+    let (out, err, ok) = run_with_stdin(
+        &["solve", "--k", "1", "--alg", "reduction", "--svg", path.to_str().unwrap()],
+        &instance,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote"));
+    let svg = std::fs::read_to_string(&path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn choose_k_recommends() {
+    let (instance, _, _) = run(&["gen", "--kind", "periodic"]);
+    let (out, err, ok) = run_with_stdin(&["choose-k", "--delta", "3", "--kmax", "3"], &instance);
+    assert!(ok, "{err}");
+    assert!(out.contains("recommendation: k ="), "{out}");
+}
+
+#[test]
+fn solve_out_then_replay_pipeline() {
+    let dir = std::env::temp_dir().join(format!("pobp-replay-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = dir.join("plan.txt");
+    let (instance, _, _) = run(&["gen", "--kind", "periodic"]);
+    let (out, err, ok) = run_with_stdin(
+        &["solve", "--k", "1", "--alg", "reduction", "--out", plan.to_str().unwrap()],
+        &instance,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote"));
+    let (out, err, ok) = run_with_stdin(
+        &["replay", "--plan", plan.to_str().unwrap(), "--delta", "1"],
+        &instance,
+    );
+    assert!(ok, "{err}");
+    assert!(out.contains("replayed plan"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,118 @@
+//! Integration tests for §5: the `k = 0` case, `PoBP_0 = Θ(min{n, log P})`.
+
+use pobp::prelude::*;
+
+/// The Figure 2 instance: OPT_∞ = n while OPT_0 = 1 — the price equals both
+/// `n` and `log2 P + 1` simultaneously.
+#[test]
+fn figure_2_price_is_n_and_log_p() {
+    for n in 2..=12u32 {
+        let inst = Fig2Instance::new(n);
+        let jobs = inst.build();
+        let ids: Vec<JobId> = jobs.ids().collect();
+        // OPT_∞ = n: all jobs feasible with (even just one) preemption.
+        assert!(edf_feasible(&jobs, &ids));
+        inst.witness_schedule().verify(&jobs, Some(1)).unwrap();
+        // OPT_0 = 1 exactly (DP oracle).
+        let opt0 = opt_nonpreemptive(&jobs, &ids);
+        assert_eq!(opt0.value, 1.0, "n={n}");
+        let price = n as f64 / opt0.value;
+        assert_eq!(price, n as f64);
+        assert_eq!(price, inst.length_ratio().log2() + 1.0);
+    }
+}
+
+/// §5 upper bound: the non-preemptive algorithm (classes of ratio ≤ 2 +
+/// best-single fallback) achieves `OPT_∞ / O(min{n, log P})` on random
+/// instances, measured against the exact `OPT_∞`.
+#[test]
+fn section_5_upper_bound_random() {
+    for seed in 0..15u64 {
+        let workload = RandomWorkload {
+            n: 12,
+            horizon: 50,
+            length_range: (1, 32),
+            laxity: LaxityModel::Uniform { max: 5.0 },
+            values: ValueModel::Uniform { max: 40 },
+        };
+        let jobs = workload.generate(seed);
+        let ids: Vec<JobId> = jobs.ids().collect();
+        let opt = opt_unbounded(&jobs, &ids);
+        if opt.subset.is_empty() {
+            continue;
+        }
+        let alg = schedule_k0(&jobs, &ids);
+        alg.schedule.verify(&jobs, Some(0)).unwrap();
+        let p = jobs.length_ratio().unwrap();
+        let n = jobs.len() as f64;
+        // The paper's constant: 3·log2 P per class argument; `min` with n.
+        let bound = n.min(3.0 * p.log2().max(1.0));
+        assert!(
+            alg.value(&jobs) * bound >= opt.value - 1e-6,
+            "seed={seed}: alg={} OPT={} bound={bound}",
+            alg.value(&jobs),
+            opt.value
+        );
+    }
+}
+
+/// The en-bloc algorithm is exactly optimal whenever jobs do not conflict.
+#[test]
+fn k0_algorithm_is_optimal_on_disjoint_jobs() {
+    let jobs: JobSet = (0..8)
+        .map(|i| Job::new(10 * i, 10 * i + 6, 5, (i + 1) as f64))
+        .collect();
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let alg = schedule_k0(&jobs, &ids);
+    assert_eq!(alg.value(&jobs), jobs.total_value());
+    let opt0 = opt_nonpreemptive(&jobs, &ids);
+    assert_eq!(alg.value(&jobs), opt0.value);
+}
+
+/// Against the exact non-preemptive optimum (not just OPT_∞): the §5
+/// algorithm is within 3·log P of OPT_0 too (it is weaker than OPT_0's DP).
+#[test]
+fn k0_vs_exact_nonpreemptive() {
+    for seed in 0..10u64 {
+        let workload = RandomWorkload {
+            n: 10,
+            horizon: 60,
+            length_range: (2, 16),
+            laxity: LaxityModel::Uniform { max: 4.0 },
+            values: ValueModel::DensityBounded { max: 6 },
+        };
+        let jobs = workload.generate(seed);
+        let ids: Vec<JobId> = jobs.ids().collect();
+        let opt0 = opt_nonpreemptive(&jobs, &ids);
+        let alg = schedule_k0(&jobs, &ids);
+        assert!(alg.value(&jobs) <= opt0.value + 1e-9, "alg cannot beat OPT_0");
+        let p = jobs.length_ratio().unwrap();
+        let bound = (jobs.len() as f64).min(3.0 * p.log2().max(1.0));
+        assert!(
+            alg.value(&jobs) * bound >= opt0.value - 1e-6,
+            "seed={seed}"
+        );
+    }
+}
+
+/// Multi-machine k = 0 (the §5 remark): iterating the algorithm over
+/// machines monotonically recovers value.
+#[test]
+fn k0_multi_machine_monotone() {
+    let inst = Fig2Instance::new(6);
+    let jobs = inst.build();
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let mut prev = 0.0;
+    for m in 1..=4usize {
+        let s = iterative_multi_machine(&jobs, &ids, m, |js, rem| {
+            schedule_k0(js, rem).schedule
+        });
+        s.verify(&jobs, Some(0)).unwrap();
+        let v = s.value(&jobs);
+        assert!(v >= prev);
+        prev = v;
+    }
+    // Even with many machines, each machine can only take one job of the
+    // nested family (they all cover the center slot) — price stays Ω(n/m).
+    assert_eq!(prev, 4.0);
+}

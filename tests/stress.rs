@@ -1,0 +1,131 @@
+//! Scale tests: the kernels stay linear-ish and correct on inputs far
+//! larger than the unit tests use. Sized to keep debug-mode `cargo test`
+//! under a few seconds per test.
+
+use pobp::prelude::*;
+
+#[test]
+fn tm_scales_to_three_hundred_thousand_nodes() {
+    let f = random_forest(300_000, 0.03, 99);
+    let res = tm(&f, 2);
+    assert!(is_kbas(&f, &res.keep, 2));
+    assert!(res.value > 0.0);
+    // Theorem 3.9 at scale.
+    assert!(res.value * loss_bound(f.len(), 2) >= f.total_value() - 1e-3);
+}
+
+#[test]
+fn contraction_scales_and_partitions() {
+    let f = random_forest(200_000, 0.03, 7);
+    let lc = levelled_contraction(&f, 1);
+    let total: f64 = lc.levels.iter().map(|l| l.value).sum();
+    assert!((total - f.total_value()).abs() < 1e-6);
+    let members: usize = lc.levels.iter().map(|l| l.members.len()).sum();
+    assert_eq!(members, f.len());
+}
+
+#[test]
+fn deep_recursion_free_pipeline() {
+    // A pathological 50k-deep nesting chain through the whole pipeline:
+    // any recursive implementation would blow the stack.
+    let depth = 50_000i64;
+    let mut jobs = JobSet::new();
+    // Job i: window [i, 3·depth − i), length 2; EDF runs them innermost-
+    // last, creating a deep laminar nest.
+    for i in 0..depth {
+        jobs.push(Job::new(i, 3 * depth - i, 1, 1.0));
+    }
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let out = edf_schedule(&jobs, &ids, None);
+    out.schedule.verify(&jobs, None).unwrap();
+    let lam = laminarize(&jobs, &out.schedule).unwrap();
+    let sf = schedule_forest(&jobs, &lam);
+    assert_eq!(sf.forest.len(), out.schedule.len());
+    let res = tm(&sf.forest, 1);
+    let rec = reconstruct(&jobs, &lam, &sf, &res.keep);
+    rec.verify(&jobs, Some(1)).unwrap();
+}
+
+#[test]
+fn edf_handles_twenty_thousand_jobs() {
+    let workload = RandomWorkload {
+        n: 20_000,
+        horizon: 120_000,
+        length_range: (1, 40),
+        laxity: LaxityModel::Uniform { max: 8.0 },
+        values: ValueModel::Unit,
+    };
+    let jobs = workload.generate(5);
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let out = edf_schedule(&jobs, &ids, None);
+    out.schedule.verify(&jobs, None).unwrap();
+    assert!(is_laminar(&out.schedule));
+    assert_eq!(out.schedule.len() + out.missed.len(), jobs.len());
+}
+
+#[test]
+fn full_reduction_on_five_thousand_jobs() {
+    let workload = RandomWorkload {
+        n: 5_000,
+        horizon: 30_000,
+        length_range: (2, 64),
+        laxity: LaxityModel::Uniform { max: 10.0 },
+        values: ValueModel::Uniform { max: 100 },
+    };
+    let jobs = workload.generate(11);
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let inf = edf_schedule(&jobs, &ids, None);
+    for k in [1u32, 3] {
+        let red = reduce_to_k_bounded(&jobs, &inf.schedule, k).unwrap();
+        red.schedule.verify(&jobs, Some(k)).unwrap();
+        assert!(
+            red.schedule.value(&jobs) * loss_bound(jobs.len(), k)
+                >= inf.schedule.value(&jobs) - 1e-3
+        );
+    }
+}
+
+#[test]
+fn lsa_cs_on_ten_thousand_lax_jobs() {
+    let workload = RandomWorkload {
+        n: 10_000,
+        horizon: 80_000,
+        length_range: (1, 128),
+        laxity: LaxityModel::Lax { k: 2, factor: 3.0 },
+        values: ValueModel::Uniform { max: 50 },
+    };
+    let jobs = workload.generate(13);
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let out = lsa_cs(&jobs, &ids, 2);
+    out.schedule.verify(&jobs, Some(2)).unwrap();
+    assert!(!out.accepted.is_empty());
+}
+
+#[test]
+fn simulator_handles_long_runs() {
+    let workload = RandomWorkload {
+        n: 10_000,
+        horizon: 60_000,
+        length_range: (1, 32),
+        laxity: LaxityModel::Uniform { max: 6.0 },
+        values: ValueModel::Unit,
+    };
+    let jobs = workload.generate(17);
+    let ids: Vec<JobId> = jobs.ids().collect();
+    let out = execute_online(&jobs, &ids, SimConfig { policy: Policy::EdfBudget(2), switch_cost: 1 });
+    out.trace.check().unwrap();
+    out.schedule.verify(&jobs, Some(2)).unwrap();
+}
+
+#[test]
+fn fig4_large_instance_end_to_end() {
+    // k = 3 → K = 6, depth 4 → 1555 jobs with 10-digit time scales.
+    let inst = Fig4Instance::for_k(3, 4);
+    let built = inst.build();
+    let ids: Vec<JobId> = built.jobs.ids().collect();
+    assert!(edf_feasible(&built.jobs, &ids));
+    let inf = edf_schedule(&built.jobs, &ids, None);
+    let red = reduce_to_k_bounded(&built.jobs, &inf.schedule, 3).unwrap();
+    red.schedule.verify(&built.jobs, Some(3)).unwrap();
+    assert!(red.schedule.value(&built.jobs) <= inst.opt_k_upper_bound(3) + 1e-6);
+}

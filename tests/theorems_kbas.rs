@@ -1,0 +1,96 @@
+//! Integration tests for §3: Theorems 3.9 (upper bound) and 3.20 (tightness)
+//! of the k-BAS loss factor, across crates (`pobp-forest` + `pobp-instances`).
+
+use pobp::prelude::*;
+
+/// Theorem 3.9 on structured *and* random forests: the optimal k-BAS value
+/// is at least `val(T) / log_{k+1} n`.
+#[test]
+fn theorem_3_9_upper_bound_holds_broadly() {
+    for seed in 0..10u64 {
+        for &n in &[10usize, 100, 1000] {
+            let f = random_forest(n, 0.1, seed);
+            for k in 1..=4u32 {
+                let res = tm(&f, k);
+                let bound = loss_bound(n, k);
+                assert!(
+                    res.value * bound >= f.total_value() - 1e-6,
+                    "seed={seed} n={n} k={k}"
+                );
+                assert!(is_kbas(&f, &res.keep, k));
+            }
+        }
+    }
+}
+
+/// Lemma 3.17/3.18 as measured: LevelledContraction uses at most
+/// `log_{k+1} n + 1` iterations and its best level carries `≥ val(T)/L`.
+#[test]
+fn levelled_contraction_bounds() {
+    for seed in 0..6u64 {
+        let f = random_forest(2000, 0.05, seed);
+        for k in 1..=3u32 {
+            let lc = levelled_contraction(&f, k);
+            let l = lc.iterations() as f64;
+            assert!(l <= (2000f64.ln() / ((k + 1) as f64).ln()).floor() + 1.0 + 1e-9);
+            assert!(lc.value() * l >= f.total_value() - 1e-6);
+        }
+    }
+}
+
+/// Theorem 3.20 (Appendix A): the adversarial tree really forces loss
+/// `(L+1)/Σ(k/K)^j` — growing linearly in `L = Θ(log_{k+1} n)` — and the
+/// measured TM value matches the Lemma A.2 closed form exactly.
+#[test]
+fn theorem_3_20_tightness() {
+    for k in 1..=3u32 {
+        let mut prev_loss = 0.0;
+        for depth in 1..=5u32 {
+            let lb = LowerBoundTree::for_k(k, depth);
+            let f = lb.build();
+            let res = tm(&f, k);
+            let expected = lb.expected_tm_value(k);
+            assert!(
+                (res.value - expected).abs() / expected < 1e-12,
+                "k={k} L={depth}"
+            );
+            let loss = f.total_value() / res.value;
+            // Strictly increasing in L, and above (L+1)/2 (K = 2k).
+            assert!(loss > prev_loss, "loss not growing at k={k} L={depth}");
+            assert!(loss > (depth as f64 + 1.0) / 2.0);
+            prev_loss = loss;
+            // The brute force agrees on tiny instances.
+            if f.len() <= 16 {
+                let (bf, _) = brute_force_kbas(&f, k);
+                assert!((bf - res.value).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+/// The lower bound and upper bound bracket each other: on the adversarial
+/// tree, loss ∈ [(L+1)/2, log_{k+1} n] for K = 2k.
+#[test]
+fn loss_is_sandwiched_on_adversarial_tree() {
+    for k in 1..=3u32 {
+        for depth in 2..=5u32 {
+            let lb = LowerBoundTree::for_k(k, depth);
+            let f = lb.build();
+            let res = tm(&f, k);
+            let loss = f.total_value() / res.value;
+            assert!(loss <= loss_bound(f.len(), k) + 1e-9, "k={k} L={depth}");
+            assert!(loss >= (depth as f64 + 1.0) / 2.0, "k={k} L={depth}");
+        }
+    }
+}
+
+/// Increasing k on the adversarial tree built for a smaller k collapses the
+/// loss to 1 once k reaches the branching factor.
+#[test]
+fn larger_budget_defeats_the_construction() {
+    let lb = LowerBoundTree::for_k(2, 4); // K = 4
+    let f = lb.build();
+    let res = tm(&f, 4);
+    assert_eq!(res.value, f.total_value());
+    assert_eq!(res.keep.len(), f.len());
+}

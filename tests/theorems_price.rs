@@ -1,0 +1,190 @@
+//! Integration tests for §4: Theorems 4.2/4.3 (price in `n`) and
+//! 4.5/4.13 (price in `P`), end-to-end across all crates.
+
+use pobp::prelude::*;
+
+fn all_ids(jobs: &JobSet) -> Vec<JobId> {
+    jobs.ids().collect()
+}
+
+/// Theorem 4.2 against the *exact* optimum on small random instances:
+/// `OPT_∞ ≤ log_{k+1} n · value(reduction(OPT_∞ schedule))`.
+#[test]
+fn theorem_4_2_exact_small_instances() {
+    for seed in 0..12u64 {
+        let workload = RandomWorkload {
+            n: 10,
+            horizon: 40,
+            length_range: (1, 12),
+            laxity: LaxityModel::Uniform { max: 4.0 },
+            values: ValueModel::Uniform { max: 20 },
+        };
+        let jobs = workload.generate(seed);
+        let ids = all_ids(&jobs);
+        let opt = opt_unbounded(&jobs, &ids);
+        if opt.subset.is_empty() {
+            continue;
+        }
+        for k in 1..=3u32 {
+            let red = reduce_to_k_bounded(&jobs, &opt.schedule, k).unwrap();
+            red.schedule.verify(&jobs, Some(k)).unwrap();
+            let bound = loss_bound(jobs.len(), k);
+            assert!(
+                red.schedule.value(&jobs) * bound >= opt.value - 1e-6,
+                "seed={seed} k={k}: {} × {bound} < {}",
+                red.schedule.value(&jobs),
+                opt.value
+            );
+        }
+    }
+}
+
+/// Theorem 4.3 (Appendix B): the Figure 4 instance forces the price up.
+/// `OPT_∞` schedules everything; any k-bounded solution is under the
+/// analytic `K^L·Σ(k/K)^i` bound; the ratio grows linearly in `L`.
+#[test]
+fn theorem_4_3_lower_bound_grows() {
+    for k in 1..=2u32 {
+        let mut prev_price = 0.0;
+        for depth in 1..=4u32 {
+            let inst = Fig4Instance::for_k(k, depth);
+            let built = inst.build();
+            let ids = all_ids(&built.jobs);
+            // OPT_∞ takes all jobs (verified via EDF).
+            assert!(edf_feasible(&built.jobs, &ids), "k={k} L={depth}");
+            let opt_inf = inst.opt_unbounded_value();
+            assert_eq!(opt_inf, built.jobs.total_value());
+            // Our best constructive k-bounded value ≤ the analytic bound.
+            let inf = edf_schedule(&built.jobs, &ids, None);
+            let red = reduce_to_k_bounded(&built.jobs, &inf.schedule, k).unwrap();
+            red.schedule.verify(&built.jobs, Some(k)).unwrap();
+            let alg = red.schedule.value(&built.jobs);
+            let upper = inst.opt_k_upper_bound(k);
+            assert!(alg <= upper + 1e-6, "k={k} L={depth}");
+            let price = opt_inf / upper; // certified lower bound on PoBP
+            assert!(price > prev_price, "price not growing at k={k} L={depth}");
+            assert!(price >= (depth as f64 + 1.0) / 2.0 - 1e-9);
+            prev_price = price;
+        }
+    }
+}
+
+/// On the Figure 4 instance, the exact tiny-instance `OPT_k` oracle confirms
+/// Lemma B.1's spirit: one preemption hosts at most one child job.
+#[test]
+fn lemma_b1_exact_check_tiny() {
+    // K = 2, L = 1: one parent, two children; n = 3, lengths 60/5... too
+    // long a horizon for the tick oracle, so shrink: use the k-BAS view —
+    // the schedule forest of the full EDF schedule has the parent with 2
+    // children, and TM at k = 1 keeps parent + 1 child.
+    let inst = Fig4Instance::for_k(1, 1);
+    let built = inst.build();
+    let ids = all_ids(&built.jobs);
+    let inf = edf_schedule(&built.jobs, &ids, None);
+    assert!(inf.is_feasible());
+    let lam = laminarize(&built.jobs, &inf.schedule).unwrap();
+    let sf = schedule_forest(&built.jobs, &lam);
+    // Root job preempted by both children in the ∞ schedule.
+    let root = sf.forest.roots()[0];
+    assert_eq!(sf.forest.degree(root), 2);
+    let res = tm(&sf.forest, 1);
+    // Keeps the root (value 2) plus one child (1) = 3 of total 4.
+    assert_eq!(res.value, 3.0);
+}
+
+/// Theorem 4.5: `LSA_CS` on lax jobs achieves at least
+/// `OPT_∞ / (6·log_{k+1} P)` — measured against the exact optimum.
+#[test]
+fn theorem_4_5_lsa_cs_guarantee() {
+    for seed in 0..12u64 {
+        for k in 1..=3u32 {
+            let workload = RandomWorkload {
+                n: 12,
+                horizon: 60,
+                length_range: (1, 16),
+                laxity: LaxityModel::Lax { k, factor: 3.0 },
+                values: ValueModel::Uniform { max: 30 },
+            };
+            let jobs = workload.generate(seed);
+            let ids = all_ids(&jobs);
+            let opt = opt_unbounded(&jobs, &ids);
+            let out = lsa_cs(&jobs, &ids, k);
+            out.schedule.verify(&jobs, Some(k)).unwrap();
+            let p = jobs.length_ratio().unwrap();
+            let log_p = (p.ln() / ((k + 1) as f64).ln()).max(1.0);
+            assert!(
+                out.value(&jobs) * 6.0 * log_p >= opt.value - 1e-6,
+                "seed={seed} k={k}: LSA_CS={} OPT={} P={p}",
+                out.value(&jobs),
+                opt.value
+            );
+        }
+    }
+}
+
+/// Algorithm 3 end-to-end obeys the combined `O(log_{k+1} P)` bound on
+/// mixed-laxity instances (with the paper's constant slack: the split loses
+/// 2×, the strict branch log_{k+1}(P·λmax) ≤ log_{k+1}P + 1, the lax branch
+/// 6·log_{k+1}P).
+#[test]
+fn theorem_4_5_combined_end_to_end() {
+    for seed in 0..8u64 {
+        for k in 1..=2u32 {
+            let workload = RandomWorkload {
+                n: 12,
+                horizon: 50,
+                length_range: (1, 8),
+                laxity: LaxityModel::Uniform { max: 6.0 },
+                values: ValueModel::Uniform { max: 10 },
+            };
+            let jobs = workload.generate(seed);
+            let ids = all_ids(&jobs);
+            let opt = opt_unbounded(&jobs, &ids);
+            if opt.subset.is_empty() {
+                continue;
+            }
+            let out = k_preemption_combined(&jobs, &ids, &opt.schedule, k).unwrap();
+            out.chosen.verify(&jobs, Some(k)).unwrap();
+            let p = jobs.length_ratio().unwrap();
+            let log_p = (p.ln() / ((k + 1) as f64).ln()).max(1.0);
+            // 2 (split) × max(6·logP, logP + 1) ≤ 12·(log_k+1 P + 1).
+            let slack = 12.0 * (log_p + 1.0);
+            assert!(
+                out.chosen.value(&jobs) * slack >= opt.value - 1e-6,
+                "seed={seed} k={k}: {} vs OPT {} (slack {slack})",
+                out.chosen.value(&jobs),
+                opt.value
+            );
+        }
+    }
+}
+
+/// `OPT_k` sandwich on small instances: algorithmic lower bounds ≤ exact
+/// `OPT_k` ≤ `OPT_∞`, and `OPT_k` is monotone in `k`.
+#[test]
+fn opt_k_sandwich_small() {
+    for seed in 0..8u64 {
+        let workload = RandomWorkload {
+            n: 4,
+            horizon: 16,
+            length_range: (1, 6),
+            laxity: LaxityModel::Uniform { max: 3.0 },
+            values: ValueModel::Uniform { max: 9 },
+        };
+        let jobs = workload.generate(seed);
+        let ids = all_ids(&jobs);
+        let opt_inf = opt_unbounded(&jobs, &ids);
+        let mut prev = 0.0;
+        for k in 0..=2u32 {
+            let exact_k = opt_k_bounded_small(&jobs, &ids, k);
+            assert!(exact_k >= prev - 1e-9, "monotonicity seed={seed} k={k}");
+            assert!(exact_k <= opt_inf.value + 1e-9);
+            // Constructive algorithms are valid lower bounds.
+            let red = reduce_to_k_bounded(&jobs, &opt_inf.schedule, k).unwrap();
+            assert!(red.schedule.value(&jobs) <= exact_k + 1e-9, "seed={seed} k={k}");
+            let out = lsa_cs(&jobs, &ids, k);
+            assert!(out.value(&jobs) <= exact_k + 1e-9, "seed={seed} k={k}");
+            prev = exact_k;
+        }
+    }
+}
