@@ -6,6 +6,11 @@
 //! cargo run --release -p pobp-bench --bin experiments            # all
 //! cargo run --release -p pobp-bench --bin experiments -- e5 e8   # subset
 //! ```
+//!
+//! With `--obs` (and a `--features obs` build) the harness additionally
+//! prints the aggregated counter tables and writes the JSON counter report
+//! to `obs-report.json` (override with `--obs-out FILE`); see
+//! `docs/observability.md`.
 
 use pobp_bench::{geo_mean, lax_workload, log_base_k1, mixed_workload, small_workload};
 use pobp_core::{JobId, JobSet};
@@ -20,7 +25,24 @@ use pobp_sched::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let run = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+    let obs_out: Option<String> = match args.iter().position(|a| a == "--obs-out") {
+        Some(i) => Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--obs-out needs a file argument");
+            std::process::exit(2);
+        })),
+        None if args.iter().any(|a| a == "--obs") => Some("obs-report.json".into()),
+        None => None,
+    };
+    let is_flag_or_value = |i: usize| {
+        args[i].starts_with("--") || (i > 0 && args[i - 1] == "--obs-out")
+    };
+    let selectors: Vec<&String> =
+        (0..args.len()).filter(|&i| !is_flag_or_value(i)).map(|i| &args[i]).collect();
+    let run =
+        |name: &str| selectors.is_empty() || selectors.iter().any(|a| *a == name || *a == "all");
+    if obs_out.is_some() {
+        pobp_core::obs::reset();
+    }
     let experiments: &[(&str, &str, fn())] = &[
         ("e1", "Figure 1: laminar rearrangement", e1_laminar),
         ("e2", "Theorem 3.9: k-BAS loss upper bound", e2_kbas_upper),
@@ -39,6 +61,19 @@ fn main() {
         if run(name) {
             println!("\n################ {name}: {title} ################\n");
             f();
+        }
+    }
+    if let Some(path) = obs_out {
+        let snap = pobp_core::obs::snapshot();
+        println!("\n################ obs: counter report ################\n");
+        print!("{}", pobp_bench::report::obs_tables(&snap));
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote JSON counter report to {path}");
+        if !pobp_core::obs::enabled() {
+            println!("(note: built without --features obs — all counters are empty)");
         }
     }
 }

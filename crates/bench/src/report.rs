@@ -111,6 +111,59 @@ impl Table {
     }
 }
 
+/// Renders an observability [`Snapshot`](pobp_core::obs::Snapshot) as three
+/// aligned-text tables (counters, timers, events), in name order. Empty
+/// sections are omitted; an entirely empty snapshot renders a hint that the
+/// `obs` feature is off.
+pub fn obs_tables(snap: &pobp_core::obs::Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let mut t = Table::new(["counter", "value"]);
+        for (name, v) in &snap.counters {
+            t.push([name.to_string(), v.to_string()]);
+        }
+        out.push_str(&t.to_text());
+    }
+    if !snap.timers.is_empty() {
+        let mut t = Table::new(["timer", "total_ms", "spans"]);
+        for (name, s) in &snap.timers {
+            t.push([
+                name.to_string(),
+                format!("{:.3}", s.total.as_secs_f64() * 1e3),
+                s.spans.to_string(),
+            ]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&t.to_text());
+    }
+    if !snap.events.is_empty() {
+        let mut t = Table::new(["event", "count", "sum", "min", "max"]);
+        for (name, e) in &snap.events {
+            t.push([
+                name.to_string(),
+                e.count.to_string(),
+                e.sum.to_string(),
+                e.min.to_string(),
+                e.max.to_string(),
+            ]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&t.to_text());
+    }
+    if out.is_empty() {
+        out.push_str(if pobp_core::obs::enabled() {
+            "(no obs data recorded)\n"
+        } else {
+            "(obs feature disabled; rebuild with --features obs)\n"
+        });
+    }
+    out
+}
+
 /// Formats an `f64` compactly (trailing-zero-free, 4 significant decimals).
 pub fn num(x: f64) -> String {
     if x == x.trunc() && x.abs() < 1e15 {
@@ -185,5 +238,21 @@ mod tests {
         let t = Table::new(["a"]);
         assert!(t.is_empty());
         assert_eq!(t.to_csv(), "a\n");
+    }
+
+    #[test]
+    fn obs_tables_rendering() {
+        let mut snap = pobp_core::obs::Snapshot::default();
+        snap.counters.insert("sched.edf.runs", 3);
+        snap.events.insert(
+            "sched.lsa_cs.class_size",
+            pobp_core::obs::EventSnapshot { count: 2, sum: 7, min: 3, max: 4 },
+        );
+        let text = obs_tables(&snap);
+        assert!(text.contains("sched.edf.runs"));
+        assert!(text.contains("sched.lsa_cs.class_size"));
+
+        let empty = obs_tables(&pobp_core::obs::Snapshot::default());
+        assert!(empty.contains("obs"));
     }
 }

@@ -15,9 +15,16 @@
 //!
 //! Everything is exact integer arithmetic; feasibility is a decidable
 //! predicate with no epsilons ([`Schedule::verify`]).
+//!
+//! The crate also exports the workspace's zero-cost instrumentation layer
+//! ([`obs`], with the [`obs_count!`], [`obs_time!`], and [`obs_event!`]
+//! macros), compiled to no-ops unless the `obs` cargo feature is enabled —
+//! see `docs/observability.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod obs;
 
 mod job;
 mod render;

@@ -17,7 +17,7 @@
 
 use crate::arena::{Forest, NodeId};
 use crate::kbas::KeepSet;
-use pobp_core::Value;
+use pobp_core::{obs_count, Value};
 
 /// One iteration's output: a k-BAS of the original forest (Lemma 3.16).
 #[derive(Clone, Debug)]
@@ -79,6 +79,7 @@ impl ContractionResult {
 /// empty input has no well-defined best level).
 pub fn levelled_contraction(forest: &Forest, k: u32) -> ContractionResult {
     assert!(!forest.is_empty(), "levelled_contraction needs a non-empty forest");
+    obs_count!("forest.contraction.runs");
     let n = forest.len();
     let k = k as usize;
     let order = forest.bottom_up_order();
@@ -92,8 +93,10 @@ pub fn levelled_contraction(forest: &Forest, k: u32) -> ContractionResult {
     let mut live_contractible_children = vec![0usize; n];
 
     while alive_count > 0 {
+        obs_count!("forest.contraction.levels");
         // MaxContract: mark contractibility bottom-up over live nodes.
         for &u in &order {
+            obs_count!("forest.contraction.node_scans");
             if !alive[u.0] {
                 continue;
             }
@@ -137,6 +140,7 @@ pub fn levelled_contraction(forest: &Forest, k: u32) -> ContractionResult {
         let mut stack = roots.clone();
         while let Some(u) = stack.pop() {
             debug_assert!(alive[u.0]);
+            obs_count!("forest.contraction.contracted_nodes");
             alive[u.0] = false;
             alive_count -= 1;
             members.push(u);

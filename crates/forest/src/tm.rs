@@ -24,7 +24,7 @@
 
 use crate::arena::{Forest, NodeId};
 use crate::kbas::{keep_from_classes, KeepSet, NodeClass};
-use pobp_core::Value;
+use pobp_core::{obs_count, Value};
 
 /// Output of the `TM` dynamic program.
 #[derive(Clone, Debug)]
@@ -61,6 +61,7 @@ pub struct TmResult {
 /// assert!(is_kbas(&f, &res.keep, 1));
 /// ```
 pub fn tm(forest: &Forest, k: u32) -> TmResult {
+    obs_count!("forest.tm.runs");
     let n = forest.len();
     let mut t = vec![0.0f64; n];
     let mut m = vec![0.0f64; n];
@@ -73,6 +74,7 @@ pub fn tm(forest: &Forest, k: u32) -> TmResult {
     let mut selected: Vec<Vec<NodeId>> = vec![Vec::new(); n];
 
     for &u in &order {
+        obs_count!("forest.tm.nodes_visited");
         let children = forest.children(u);
         if children.is_empty() {
             t[u.0] = forest.value(u);
@@ -88,6 +90,7 @@ pub fn tm(forest: &Forest, k: u32) -> TmResult {
         let kk = (k as usize).min(child_t.len());
         if kk > 0 && kk < child_t.len() {
             // Partial selection: largest `kk` to the front.
+            obs_count!("forest.tm.topk_selections");
             child_t.select_nth_unstable_by(kk - 1, |a, b| {
                 b.0.partial_cmp(&a.0).expect("t-values are finite")
             });

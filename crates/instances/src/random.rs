@@ -4,7 +4,7 @@
 //! All generators are deterministic functions of their `seed`, so every
 //! experiment in `EXPERIMENTS.md` is reproducible bit-for-bit.
 
-use pobp_core::{Job, JobSet, Time};
+use pobp_core::{obs_count, Job, JobSet, Time};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -81,6 +81,7 @@ impl RandomWorkload {
         let (p_lo, p_hi) = self.length_range;
         assert!(p_lo >= 1 && p_hi >= p_lo, "invalid length range");
         let mut jobs = JobSet::new();
+        obs_count!("instances.random.jobs_generated", self.n);
         for _ in 0..self.n {
             let length = rng.random_range(p_lo..=p_hi);
             let lam = match self.laxity {

@@ -15,7 +15,7 @@
 use crate::baselines::greedy_unbounded;
 use crate::lsa::lsa_cs;
 use crate::reduction::reduce_to_k_bounded;
-use pobp_core::{Infeasibility, JobId, JobSet, Schedule};
+use pobp_core::{obs_count, Infeasibility, JobId, JobSet, Schedule};
 
 /// The two branches of Algorithm 3, for inspection.
 #[derive(Clone, Debug)]
@@ -60,6 +60,7 @@ pub fn k_preemption_combined(
     k: u32,
 ) -> Result<CombinedOutcome, Infeasibility> {
     schedule_inf.verify(jobs, None)?;
+    obs_count!("sched.combined.runs");
     let mut strict_ids = Vec::new();
     let mut lax_ids = Vec::new();
     for &j in ids {
@@ -69,14 +70,18 @@ pub fn k_preemption_combined(
             lax_ids.push(j);
         }
     }
+    obs_count!("sched.combined.strict_jobs", strict_ids.len());
+    obs_count!("sched.combined.lax_jobs", lax_ids.len());
     // Strict branch: restrict the given schedule to strict jobs, reduce.
     let strict = reduce_to_k_bounded(jobs, &schedule_inf.restricted_to(&strict_ids), k)?;
     // Lax branch: LSA_CS on all lax jobs (ignores the input schedule).
     let lax = lsa_cs(jobs, &lax_ids, k);
     let (sv, lv) = (strict.schedule.value(jobs), lax.schedule.value(jobs));
     let chosen = if sv >= lv {
+        obs_count!("sched.combined.strict_branch_wins");
         strict.schedule.clone()
     } else {
+        obs_count!("sched.combined.lax_branch_wins");
         lax.schedule.clone()
     };
     Ok(CombinedOutcome { strict: strict.schedule, lax: lax.schedule, chosen })

@@ -22,7 +22,7 @@
 //! so it survives the availability-restricted variant. This is exactly the
 //! Figure 1 rearrangement invariant, and `laminar.rs` tests it.
 
-use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet, Time};
+use pobp_core::{obs_count, Interval, JobId, JobSet, Schedule, SegmentSet, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -71,6 +71,10 @@ pub fn edf_schedule(
     subset: &[JobId],
     availability: Option<&SegmentSet>,
 ) -> EdfOutcome {
+    obs_count!("sched.edf.runs");
+    if availability.is_some() {
+        obs_count!("sched.edf.restricted_runs");
+    }
     let mut outcome = EdfOutcome { schedule: Schedule::new(), missed: Vec::new() };
     if subset.is_empty() {
         return outcome;
@@ -113,17 +117,20 @@ pub fn edf_schedule(
     let admit = |t: Time, rel_idx: &mut usize, ready: &mut BinaryHeap<Reverse<(Time, JobId)>>| {
         while *rel_idx < releases.len() && releases[*rel_idx].0 <= t {
             let (_, j) = releases[*rel_idx];
+            obs_count!("sched.edf.heap_push");
             ready.push(Reverse((jobs.job(j).deadline, j)));
             *rel_idx += 1;
         }
     };
 
     loop {
+        obs_count!("sched.edf.iterations");
         admit(t, &mut rel_idx, &mut ready);
         // Nothing ready: jump to the next release, or finish.
         if ready.is_empty() {
             match releases.get(rel_idx) {
                 Some(&(r, _)) => {
+                    obs_count!("sched.edf.gap_jumps");
                     t = t.max(r);
                     continue;
                 }
@@ -139,6 +146,7 @@ pub fn edf_schedule(
             break;
         }
         if t < avail[ai].start {
+            obs_count!("sched.edf.idle_jumps");
             t = avail[ai].start;
             continue; // re-admit releases up to the new time
         }
@@ -150,6 +158,8 @@ pub fn edf_schedule(
             // its deadline. Abort it and discard its partial segments —
             // the rest of the schedule stays feasible, and a miss is an
             // exact certificate of subset infeasibility (EDF optimality).
+            obs_count!("sched.edf.heap_pop");
+            obs_count!("sched.edf.aborts");
             ready.pop();
             outcome.missed.push(j);
             placed.remove(&j);
@@ -163,11 +173,13 @@ pub fn edf_schedule(
             }
         }
         debug_assert!(run_until > t, "no progress at t={t}");
+        obs_count!("sched.edf.segments_emitted");
         placed.get_mut(&j).expect("job placed map").push(Interval::new(t, run_until));
         let new_rem = rem - (run_until - t);
         *remaining.get_mut(&j).unwrap() = new_rem;
         t = run_until;
         if new_rem == 0 {
+            obs_count!("sched.edf.heap_pop");
             ready.pop();
             let segs = SegmentSet::from_intervals(placed.remove(&j).unwrap());
             outcome.schedule.assign_single(j, segs);
@@ -175,6 +187,7 @@ pub fn edf_schedule(
     }
     // Anything still ready or unreleased-but-tracked missed its chance.
     while let Some(Reverse((_, j))) = ready.pop() {
+        obs_count!("sched.edf.heap_pop");
         if remaining[&j] > 0 {
             outcome.missed.push(j);
         }

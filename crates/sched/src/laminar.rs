@@ -14,7 +14,7 @@
 //! construction of §4.1 needs.
 
 use crate::edf::edf_schedule;
-use pobp_core::{Infeasibility, JobId, JobSet, Schedule};
+use pobp_core::{obs_count, Infeasibility, JobId, JobSet, Schedule};
 
 /// Whether the single-machine schedule's preemption structure is laminar:
 /// no two jobs interleave as `a₁ ≺ b₁ ≺ a₂ ≺ b₂`.
@@ -96,8 +96,10 @@ fn machine_is_laminar(schedule: &Schedule, machine: usize) -> bool {
 /// begin with (the rearrangement is only defined for feasible schedules).
 pub fn laminarize(jobs: &JobSet, schedule: &Schedule) -> Result<Schedule, Infeasibility> {
     schedule.verify(jobs, None)?;
+    obs_count!("sched.laminarize.runs");
     let mut out = Schedule::new();
     for machine in schedule.machines() {
+        obs_count!("sched.laminarize.machines");
         let on_machine: Vec<JobId> = schedule
             .iter()
             .filter(|(_, a)| a.machine == machine)

@@ -17,7 +17,7 @@
 //! Lemma 4.10: on lax input (`λ_j ≥ k+1` for all `j`),
 //! `val(LSA_CS) ≥ val(OPT_∞) / (6 · log_{k+1} P)`.
 
-use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet, Time, Timeline};
+use pobp_core::{obs_count, obs_event, Interval, JobId, JobSet, Schedule, SegmentSet, Time, Timeline};
 
 /// Result of an `LSA` / `LSA_CS` run.
 #[derive(Clone, Debug)]
@@ -63,6 +63,7 @@ pub fn lsa(jobs: &JobSet, ids: &[JobId], k: u32) -> LsaOutcome {
 /// density; Albagli-Kim et al. sorted by value — `classify.rs` uses this to
 /// implement their `O(log ρ)` / `O(log σ)` classify-and-select variants).
 pub fn lsa_in_order(jobs: &JobSet, ordered_ids: &[JobId], k: u32) -> LsaOutcome {
+    obs_count!("sched.lsa.runs");
     let mut timeline = Timeline::new();
     let mut out = LsaOutcome {
         accepted: Vec::new(),
@@ -71,16 +72,22 @@ pub fn lsa_in_order(jobs: &JobSet, ordered_ids: &[JobId], k: u32) -> LsaOutcome 
     };
     let slots = k as usize + 1;
     for &j in ordered_ids {
+        obs_count!("sched.lsa.jobs_considered");
         let job = jobs.job(j);
         let idle_all = timeline.idle_within(&job.window());
         let idle: &[Interval] = idle_all.segments();
         let placed = place_into_k_slots(&mut timeline, idle, job.length, slots);
         match placed {
             Some(segs) => {
+                obs_count!("sched.lsa.accepted");
+                obs_count!("sched.lsa.segments_emitted", segs.count());
                 out.schedule.assign_single(j, segs);
                 out.accepted.push(j);
             }
-            None => out.rejected.push(j),
+            None => {
+                obs_count!("sched.lsa.rejected");
+                out.rejected.push(j);
+            }
         }
     }
     out
@@ -111,6 +118,7 @@ fn place_into_k_slots(
             return None;
         }
         // Remove the shortest member of S, admit the next idle segment.
+        obs_count!("sched.lsa.window_slides");
         let (pos, _) = s
             .iter()
             .enumerate()
@@ -169,6 +177,7 @@ pub fn length_classes(jobs: &JobSet, ids: &[JobId], base: u32) -> Vec<Vec<JobId>
 pub fn lsa_cs(jobs: &JobSet, ids: &[JobId], k: u32) -> LsaOutcome {
     // Classes of length ratio < k+1 (for k = 0 we still need ratio-2
     // classes; §5 uses exactly that).
+    obs_count!("sched.lsa_cs.runs");
     let base = (k + 1).max(2);
     let classes = length_classes(jobs, ids, base);
     let mut best: Option<LsaOutcome> = None;
@@ -177,6 +186,8 @@ pub fn lsa_cs(jobs: &JobSet, ids: &[JobId], k: u32) -> LsaOutcome {
         if class.is_empty() {
             continue;
         }
+        obs_count!("sched.lsa_cs.classes");
+        obs_event!("sched.lsa_cs.class_size", class.len());
         let out = lsa(jobs, class, k);
         let v = out.value(jobs);
         if v > best_value {

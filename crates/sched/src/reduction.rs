@@ -7,7 +7,7 @@
 
 use crate::laminar::laminarize;
 use crate::sforest::{reconstruct, schedule_forest, ScheduleForest};
-use pobp_core::{Infeasibility, JobSet, Schedule};
+use pobp_core::{obs_count, obs_time, Infeasibility, JobSet, Schedule};
 use pobp_forest::{levelled_contraction, tm, KeepSet, TmResult};
 
 /// Which k-BAS solver drives the reduction.
@@ -88,9 +88,10 @@ pub fn reduce_to_k_bounded_with(
     k: u32,
     solver: KbasSolver,
 ) -> Result<ReductionOutcome, Infeasibility> {
-    let laminar = laminarize(jobs, schedule)?;
-    let forest = schedule_forest(jobs, &laminar);
-    let kbas = tm(&forest.forest, k);
+    obs_count!("sched.reduction.runs");
+    let laminar = obs_time!("sched.reduction.time.laminarize", laminarize(jobs, schedule)?);
+    let forest = obs_time!("sched.reduction.time.forest", schedule_forest(jobs, &laminar));
+    let kbas = obs_time!("sched.reduction.time.kbas", tm(&forest.forest, k));
     let keep_used = match solver {
         KbasSolver::Tm => kbas.keep.clone(),
         KbasSolver::LevelledContraction => {
@@ -101,7 +102,10 @@ pub fn reduce_to_k_bounded_with(
             }
         }
     };
-    let schedule = reconstruct(jobs, &laminar, &forest, &keep_used);
+    let schedule = obs_time!(
+        "sched.reduction.time.reconstruct",
+        reconstruct(jobs, &laminar, &forest, &keep_used)
+    );
     debug_assert!(schedule.verify(jobs, Some(k)).is_ok());
     Ok(ReductionOutcome { laminar, forest, kbas, keep_used, schedule })
 }

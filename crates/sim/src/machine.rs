@@ -21,7 +21,7 @@
 //! in the trace as wasted machine time, mirroring a real system.
 
 use crate::trace::{ExecEvent, ExecTrace};
-use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet, Time};
+use pobp_core::{obs_count, Interval, JobId, JobSet, Schedule, SegmentSet, Time};
 use std::collections::BTreeSet;
 
 /// The online scheduling policy.
@@ -83,6 +83,7 @@ impl SimOutcome {
 /// ```
 pub fn execute_online(jobs: &JobSet, subset: &[JobId], config: SimConfig) -> SimOutcome {
     assert!(config.switch_cost >= 0, "negative switch cost");
+    obs_count!("sim.machine.runs");
     let delta = config.switch_cost;
     let mut trace = ExecTrace::default();
     let mut schedule = Schedule::new();
@@ -119,6 +120,7 @@ pub fn execute_online(jobs: &JobSet, subset: &[JobId], config: SimConfig) -> Sim
             running = None;
             match releases.get(rel_idx) {
                 Some(&(r, _)) => {
+                    obs_count!("sim.machine.idle_ticks", r - t);
                     t = r;
                     continue;
                 }
@@ -137,6 +139,7 @@ pub fn execute_online(jobs: &JobSet, subset: &[JobId], config: SimConfig) -> Sim
             .collect();
         let mut any_abort = false;
         for key in hopeless {
+            obs_count!("sim.machine.aborts");
             ready.remove(&key);
             trace.push(t, ExecEvent::Abort(key.1));
             dropped.push(key.1);
@@ -170,12 +173,14 @@ pub fn execute_online(jobs: &JobSet, subset: &[JobId], config: SimConfig) -> Sim
 
         // Context switch if the machine has a different (or no) job loaded.
         if loaded != Some(chosen) {
+            obs_count!("sim.machine.context_switches");
             if let Some(prev) = running {
                 if prev != chosen {
                     trace.push(t, ExecEvent::Preempt { out: prev, by: chosen });
                 }
             }
             if delta > 0 {
+                obs_count!("sim.machine.overhead_ticks", delta);
                 trace.push(t, ExecEvent::OverheadBegin);
                 trace.overhead.push(Interval::new(t, t + delta));
                 t += delta;
@@ -215,12 +220,14 @@ pub fn execute_online(jobs: &JobSet, subset: &[JobId], config: SimConfig) -> Sim
             }
         }
         debug_assert!(until > t, "no progress at t={t}");
+        obs_count!("sim.machine.work_segments");
         trace.work.push((chosen, Interval::new(t, until)));
         pieces.entry(chosen).or_default().push(Interval::new(t, until));
         let new_rem = rem - (until - t);
         *remaining.get_mut(&chosen).unwrap() = new_rem;
         t = until;
         if new_rem == 0 {
+            obs_count!("sim.machine.completions");
             ready.remove(&(jobs.job(chosen).deadline, chosen));
             trace.push(t, ExecEvent::Complete(chosen));
             let segs = SegmentSet::from_intervals(pieces.remove(&chosen).unwrap());

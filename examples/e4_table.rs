@@ -1,0 +1,29 @@
+//! Regenerates the E4 table in EXPERIMENTS.md (run: cargo run --release --example e4_table).
+use pobp::prelude::*;
+
+fn main() {
+    for k in 1..=4u32 {
+        let mut prices = Vec::new();
+        for seed in 0..20u64 {
+            let jobs = RandomWorkload {
+                n: 14,
+                horizon: 40,
+                length_range: (1, 12),
+                laxity: LaxityModel::Uniform { max: 4.0 },
+                values: ValueModel::Uniform { max: 20 },
+            }
+            .generate(seed);
+            let ids: Vec<JobId> = jobs.ids().collect();
+            let opt = opt_unbounded(&jobs, &ids);
+            if opt.value == 0.0 {
+                continue;
+            }
+            let red = reduce_to_k_bounded(&jobs, &opt.schedule, k).unwrap();
+            prices.push(opt.value / red.schedule.value(&jobs));
+        }
+        let geo = (prices.iter().map(|p: &f64| p.ln()).sum::<f64>() / prices.len() as f64).exp();
+        let worst = prices.iter().cloned().fold(f64::MIN, f64::max);
+        let bound = (14f64).ln() / ((k + 1) as f64).ln();
+        println!("k={k} geo={geo:.3} worst={worst:.3} bound={bound:.2}");
+    }
+}

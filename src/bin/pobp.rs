@@ -31,6 +31,7 @@ fn main() {
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
+    .and_then(|()| emit_obs_report(&args))
     .map_or_else(
         |e| {
             eprintln!("error: {e}");
@@ -39,6 +40,21 @@ fn main() {
         |()| 0,
     );
     std::process::exit(code);
+}
+
+/// Handles the global `--obs` / `--obs-out FILE` flags after a successful
+/// command: dump the JSON counter report (docs/observability.md) to stderr,
+/// or to FILE. With the `obs` feature off the report is emitted all the
+/// same, carrying `"obs_enabled": false` and empty sections.
+fn emit_obs_report(args: &[String]) -> Result<(), String> {
+    if let Some(path) = flag(args, "--obs-out") {
+        std::fs::write(&path, pobp::obs::report_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote obs report to {path}");
+    } else if has_flag(args, "--obs") {
+        eprintln!("{}", pobp::obs::report_json());
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -51,6 +67,10 @@ USAGE:
   pobp sim --policy <edf|budget|nonpre> [--k K] [--delta D]         (instance on stdin)
   pobp choose-k --delta D [--kmax K]                                (instance on stdin)
   pobp replay --plan FILE --delta D                                 (instance on stdin)
+
+Any command also accepts --obs (print the JSON counter report to stderr) or
+--obs-out FILE (write it to FILE). Counters require building with
+`--features obs`; see docs/observability.md.
 ";
 
 /// Tiny flag parser: `--name value` pairs plus boolean `--name` flags.

@@ -19,6 +19,10 @@
 //! * [`instances`] — Figure 2 / Figure 4 lower-bound generators and seeded
 //!   random workloads.
 //!
+//! Building with `--features obs` compiles in the algorithm-level
+//! counter/timer layer ([`obs`]); without it every instrumentation macro is
+//! a no-op. See `docs/observability.md`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use pobp_core as core;
+pub use pobp_core::obs;
 pub use pobp_forest as forest;
 pub use pobp_instances as instances;
 pub use pobp_sched as sched;

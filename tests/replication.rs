@@ -103,6 +103,9 @@ fn e12_crossover_rows() {
 #[test]
 fn e4_reduction_seeded_prices() {
     // Recompute the k = 1 geo-mean price over the same 20 seeds and pin it.
+    // The pinned value is defined by the vendored deterministic RNG stream
+    // (vendor/rand, SplitMix64); regenerate with `cargo run --release
+    // --example e4_table` if the stream or workload model changes.
     let mut prices = Vec::new();
     for seed in 0..20u64 {
         let jobs = RandomWorkload {
@@ -123,8 +126,8 @@ fn e4_reduction_seeded_prices() {
     }
     let geo = (prices.iter().map(|p: &f64| p.ln()).sum::<f64>() / prices.len() as f64).exp();
     assert!(
-        (geo - 1.096).abs() < 5e-3,
-        "E4 k=1 geo-mean price drifted: {geo:.4} (recorded 1.096)"
+        (geo - 1.122).abs() < 5e-3,
+        "E4 k=1 geo-mean price drifted: {geo:.4} (recorded 1.122)"
     );
 }
 
