@@ -11,30 +11,44 @@
 //! prints the aggregated counter tables and writes the JSON counter report
 //! to `obs-report.json` (override with `--obs-out FILE`); see
 //! `docs/observability.md`.
+//!
+//! The seed-sweep experiments (E4, E6, E7, E9) dispatch their per-seed
+//! solves through the `pobp-engine` worker pool; `--threads N` sets the
+//! pool size (default: hardware parallelism). Results are deterministic —
+//! identical tables — for every thread count (`docs/engine.md`).
 
+use std::collections::BTreeMap;
+
+use pobp::cli::{flag, has_flag, parse_num};
 use pobp_bench::{geo_mean, lax_workload, log_base_k1, mixed_workload, small_workload};
 use pobp_core::{JobId, JobSet};
+use pobp_engine::{Algo, Engine, EngineConfig, GridSpec, SolveTask, TaskResult};
 use pobp_forest::{levelled_contraction, loss_bound, tm, LowerBoundTree};
 use pobp_instances::{random_forest, round_robin_schedule, Fig2Instance, Fig4Instance};
 use pobp_sched::{
     cs_by_density, cs_by_value, edf_feasible, edf_schedule, edf_truncate, global_edf,
     greedy_nonpreemptive_by_value, greedy_unbounded, is_laminar, iterative_multi_machine,
-    k_preemption_combined, laminarize, lsa, lsa_cs, opt_nonpreemptive, opt_unbounded,
-    reduce_to_k_bounded, schedule_k0,
+    laminarize, lsa, lsa_cs, opt_nonpreemptive, opt_unbounded, reduce_to_k_bounded, schedule_k0,
 };
+
+/// One harness entry: selector name, table title, runner.
+type Experiment = (&'static str, &'static str, fn(&Engine));
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let obs_out: Option<String> = match args.iter().position(|a| a == "--obs-out") {
-        Some(i) => Some(args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--obs-out needs a file argument");
-            std::process::exit(2);
-        })),
-        None if args.iter().any(|a| a == "--obs") => Some("obs-report.json".into()),
+    let obs_out: Option<String> = match flag(&args, "--obs-out") {
+        Some(path) => Some(path),
+        None if has_flag(&args, "--obs") => Some("obs-report.json".into()),
         None => None,
     };
+    let threads: usize = parse_num(&args, "--threads", 0usize).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let engine = Engine::new(EngineConfig { threads, ..EngineConfig::default() });
     let is_flag_or_value = |i: usize| {
-        args[i].starts_with("--") || (i > 0 && args[i - 1] == "--obs-out")
+        args[i].starts_with("--")
+            || (i > 0 && (args[i - 1] == "--obs-out" || args[i - 1] == "--threads"))
     };
     let selectors: Vec<&String> =
         (0..args.len()).filter(|&i| !is_flag_or_value(i)).map(|i| &args[i]).collect();
@@ -43,24 +57,24 @@ fn main() {
     if obs_out.is_some() {
         pobp_core::obs::reset();
     }
-    let experiments: &[(&str, &str, fn())] = &[
-        ("e1", "Figure 1: laminar rearrangement", e1_laminar),
-        ("e2", "Theorem 3.9: k-BAS loss upper bound", e2_kbas_upper),
-        ("e3", "Theorem 3.20 / Fig 3: k-BAS loss tightness", e3_kbas_lower),
+    let experiments: &[Experiment] = &[
+        ("e1", "Figure 1: laminar rearrangement", |_| e1_laminar()),
+        ("e2", "Theorem 3.9: k-BAS loss upper bound", |_| e2_kbas_upper()),
+        ("e3", "Theorem 3.20 / Fig 3: k-BAS loss tightness", |_| e3_kbas_lower()),
         ("e4", "Theorem 4.2: reduction vs exact OPT_inf", e4_reduction),
-        ("e5", "Theorems 4.3/4.13 / Fig 4: PoBP lower bound", e5_fig4),
+        ("e5", "Theorems 4.3/4.13 / Fig 4: PoBP lower bound", |_| e5_fig4()),
         ("e6", "Theorem 4.5 / Alg 2: LSA_CS vs P", e6_lsa),
         ("e7", "Alg 3: combined algorithm", e7_combined),
-        ("e8", "Section 5 / Fig 2: k = 0", e8_k0),
+        ("e8", "Section 5 / Fig 2: k = 0", |_| e8_k0()),
         ("e9", "Section 4.3.4: multiple machines", e9_multi),
-        ("e10", "Ablations", e10_ablations),
-        ("e11", "Extensions: migrative machines, CS-by-value/density", e11_extensions),
-        ("e12", "Motivation: context-switch cost crossover", e12_switch_cost),
+        ("e10", "Ablations", |_| e10_ablations()),
+        ("e11", "Extensions: migrative machines, CS-by-value/density", |_| e11_extensions()),
+        ("e12", "Motivation: context-switch cost crossover", |_| e12_switch_cost()),
     ];
     for (name, title, f) in experiments {
         if run(name) {
             println!("\n################ {name}: {title} ################\n");
-            f();
+            f(&engine);
         }
     }
     if let Some(path) = obs_out {
@@ -160,23 +174,34 @@ fn e3_kbas_lower() {
     }
 }
 
-fn e4_reduction() {
+/// Unwraps an engine report into its solve output. The experiment harness
+/// dispatches no panicking or deadlined tasks, so anything else is a bug.
+fn done(report: &pobp_engine::TaskReport) -> &pobp_engine::SolveOutput {
+    match &report.result {
+        TaskResult::Done(out) => out,
+        other => panic!("task {} did not complete: {}", report.label, other.status()),
+    }
+}
+
+fn e4_reduction(engine: &Engine) {
     println!("reduction (Thm 4.2) vs exact OPT_inf, small random instances");
     println!("(n = 14, 20 seeds; price = OPT_inf / value(reduction))\n");
     println!(" k | geo-mean price | worst price | bound log_(k+1) n");
     println!("---+----------------+-------------+------------------");
-    for k in 1..=4u32 {
-        let mut prices = Vec::new();
-        for seed in 0..20u64 {
-            let (jobs, ids) = small_workload(14, seed);
-            let opt = opt_unbounded(&jobs, &ids);
-            if opt.value == 0.0 {
-                continue;
-            }
-            let red = reduce_to_k_bounded(&jobs, &opt.schedule, k).unwrap();
-            red.schedule.verify(&jobs, Some(k)).unwrap();
-            prices.push(opt.value / red.schedule.value(&jobs));
+    let mut grid = GridSpec::new(vec![14], vec![1, 2, 3, 4], (0..20).collect(), Algo::Reduction);
+    grid.exact_ref = true;
+    let tasks = grid.tasks_with(|n, seed| small_workload(n, seed).0);
+    let batch = engine.run_batch(&tasks);
+    let mut by_k: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for (report, task) in batch.reports.iter().zip(&tasks) {
+        let out = done(report);
+        if out.ref_value == 0.0 {
+            continue;
         }
+        by_k.entry(task.k).or_default().push(out.ref_value / out.alg_value);
+    }
+    for &k in &grid.ks {
+        let prices = by_k.get(&k).cloned().unwrap_or_default();
         let worst = prices.iter().copied().fold(0.0f64, f64::max);
         println!(
             " {k} | {:14.3} | {worst:11.3} | {:10.2}",
@@ -187,14 +212,16 @@ fn e4_reduction() {
     println!("\nlarge instances (n = 400, greedy ∞-reference, 5 seeds):\n");
     println!(" k | geo-mean price vs greedy-∞ | bound");
     println!("---+----------------------------+------");
-    for k in 1..=4u32 {
-        let mut prices = Vec::new();
-        for seed in 0..5u64 {
-            let (jobs, ids) = mixed_workload(400, seed);
-            let inf = greedy_unbounded(&jobs, &ids);
-            let red = reduce_to_k_bounded(&jobs, &inf.schedule, k).unwrap();
-            prices.push(inf.schedule.value(&jobs) / red.schedule.value(&jobs));
-        }
+    let grid = GridSpec::new(vec![400], vec![1, 2, 3, 4], (0..5).collect(), Algo::Reduction);
+    let tasks = grid.tasks_with(|n, seed| mixed_workload(n, seed).0);
+    let batch = engine.run_batch(&tasks);
+    let mut by_k: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for (report, task) in batch.reports.iter().zip(&tasks) {
+        let out = done(report);
+        by_k.entry(task.k).or_default().push(out.ref_value / out.alg_value);
+    }
+    for &k in &grid.ks {
+        let prices = by_k.get(&k).cloned().unwrap_or_default();
         println!(" {k} | {:26.3} | {:4.2}", geo_mean(&prices), loss_bound(400, k));
     }
 }
@@ -232,26 +259,41 @@ fn e5_fig4() {
     }
 }
 
-fn e6_lsa() {
+fn e6_lsa(engine: &Engine) {
     println!("LSA_CS on lax jobs: measured price vs P sweep (Thm 4.5 bound 6·log_(k+1) P)");
     println!("(n = 14, 15 seeds, exact OPT_inf)\n");
     println!(" k | p_max |  geo-P | geo-mean price | worst | bound 6·log_(k+1) P (at geo-P)");
     println!("---+-------+--------+----------------+-------+-------------------------------");
+    // The lax workload generator depends on (k, p_max), so the grid is built
+    // by hand instead of through GridSpec.
+    let p_maxes = [4i64, 16, 64, 256];
+    let mut tasks = Vec::new();
+    let mut coords = Vec::new();
     for k in 1..=3u32 {
-        for &p_max in &[4i64, 16, 64, 256] {
-            let mut prices = Vec::new();
-            let mut ps = Vec::new();
+        for &p_max in &p_maxes {
             for seed in 0..15u64 {
-                let (jobs, ids) = lax_workload(14, k, p_max, seed);
-                let opt = opt_unbounded(&jobs, &ids);
-                if opt.value == 0.0 {
-                    continue;
-                }
-                let out = lsa_cs(&jobs, &ids, k);
-                out.schedule.verify(&jobs, Some(k)).unwrap();
-                prices.push(opt.value / out.value(&jobs));
-                ps.push(jobs.length_ratio().unwrap());
+                let mut task = SolveTask::new(lax_workload(14, k, p_max, seed).0, k, Algo::LsaCs);
+                task.exact_ref = true;
+                task.label = format!("k={k} p_max={p_max} seed={seed}");
+                tasks.push(task);
+                coords.push((k, p_max));
             }
+        }
+    }
+    let batch = engine.run_batch(&tasks);
+    let mut cells: BTreeMap<(u32, i64), (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for ((report, task), &coord) in batch.reports.iter().zip(&tasks).zip(&coords) {
+        let out = done(report);
+        if out.ref_value == 0.0 {
+            continue;
+        }
+        let (prices, ps) = cells.entry(coord).or_default();
+        prices.push(out.ref_value / out.alg_value);
+        ps.push(task.instance.length_ratio().unwrap());
+    }
+    for k in 1..=3u32 {
+        for &p_max in &p_maxes {
+            let (prices, ps) = cells.get(&(k, p_max)).cloned().unwrap_or_default();
             let geo_p = geo_mean(&ps);
             let worst = prices.iter().copied().fold(0.0f64, f64::max);
             println!(
@@ -264,28 +306,31 @@ fn e6_lsa() {
     }
 }
 
-fn e7_combined() {
+fn e7_combined(engine: &Engine) {
     println!("Algorithm 3 on mixed-laxity workloads (n = 14, exact OPT_inf, 15 seeds)\n");
     println!(" k | geo price | worst | strict-branch wins | lax-branch wins");
     println!("---+-----------+-------+--------------------+----------------");
-    for k in 1..=4u32 {
-        let mut prices = Vec::new();
-        let (mut sw, mut lw) = (0usize, 0usize);
-        for seed in 0..15u64 {
-            let (jobs, ids) = small_workload(14, seed);
-            let opt = opt_unbounded(&jobs, &ids);
-            if opt.value == 0.0 {
-                continue;
-            }
-            let out = k_preemption_combined(&jobs, &ids, &opt.schedule, k).unwrap();
-            out.chosen.verify(&jobs, Some(k)).unwrap();
-            prices.push(opt.value / out.chosen.value(&jobs).max(1e-12));
-            if out.strict.value(&jobs) >= out.lax.value(&jobs) {
-                sw += 1;
-            } else {
-                lw += 1;
-            }
+    let mut grid = GridSpec::new(vec![14], vec![1, 2, 3, 4], (0..15).collect(), Algo::Combined);
+    grid.exact_ref = true;
+    let tasks = grid.tasks_with(|n, seed| small_workload(n, seed).0);
+    let batch = engine.run_batch(&tasks);
+    let mut rows: BTreeMap<u32, (Vec<f64>, usize, usize)> = BTreeMap::new();
+    for (report, task) in batch.reports.iter().zip(&tasks) {
+        let out = done(report);
+        if out.ref_value == 0.0 {
+            continue;
         }
+        let (prices, sw, lw) = rows.entry(task.k).or_default();
+        prices.push(out.ref_value / out.alg_value.max(1e-12));
+        let (strict, lax) = out.branch_values.expect("combined reports branch values");
+        if strict >= lax {
+            *sw += 1;
+        } else {
+            *lw += 1;
+        }
+    }
+    for &k in &grid.ks {
+        let (prices, sw, lw) = rows.get(&k).cloned().unwrap_or_default();
         let worst = prices.iter().copied().fold(0.0f64, f64::max);
         println!(
             " {k} | {:9.3} | {worst:5.2} | {sw:18} | {lw:14}",
@@ -347,27 +392,32 @@ fn e8_k0() {
     }
 }
 
-fn e9_multi() {
+fn e9_multi(engine: &Engine) {
     println!("iterative multi-machine extension (k = 2, n = 300 mixed, 3 seeds avg)\n");
     println!(" machines | LSA_CS value | combined value | value / 1-machine");
     println!("----------+--------------+----------------+------------------");
-    let mut base = 0.0f64;
-    for m in [1usize, 2, 4, 8] {
-        let mut v_lsa = 0.0;
-        let mut v_comb = 0.0;
-        for seed in 0..3u64 {
-            let (jobs, ids) = mixed_workload(300, seed);
-            let s1 = iterative_multi_machine(&jobs, &ids, m, |js, rem| {
-                lsa_cs(js, rem, 2).schedule
-            });
-            s1.verify(&jobs, Some(2)).unwrap();
-            v_lsa += s1.value(&jobs);
-            let s2 = iterative_multi_machine(&jobs, &ids, m, |js, rem| {
-                pobp_sched::combined_from_scratch(js, rem, 2).chosen
-            });
-            s2.verify(&jobs, Some(2)).unwrap();
-            v_comb += s2.value(&jobs);
+    let machines = [1usize, 2, 4, 8];
+    let mut tasks = Vec::new();
+    for &m in &machines {
+        for algo in [Algo::LsaCs, Algo::Combined] {
+            for seed in 0..3u64 {
+                let mut task = SolveTask::new(mixed_workload(300, seed).0, 2, algo);
+                task.machines = m;
+                task.label = format!("m={m} alg={} seed={seed}", algo.name());
+                tasks.push(task);
+            }
         }
+    }
+    let batch = engine.run_batch(&tasks);
+    let mut sums: BTreeMap<(usize, bool), f64> = BTreeMap::new();
+    for (report, task) in batch.reports.iter().zip(&tasks) {
+        *sums.entry((task.machines, task.algo == Algo::Combined)).or_default() +=
+            done(report).alg_value;
+    }
+    let mut base = 0.0f64;
+    for &m in &machines {
+        let v_lsa = sums[&(m, false)];
+        let v_comb = sums[&(m, true)];
         if m == 1 {
             base = v_comb;
         }

@@ -19,6 +19,9 @@ use pobp_instances::{Fig2Instance, Fig4Instance};
 use pobp_sched::{edf_feasible, opt_nonpreemptive, opt_unbounded, lsa_cs, schedule_k0};
 use pobp_sim::{execute_online, Policy, SimConfig};
 
+/// One sweep entry: selector name, table builder.
+type Sweep = (&'static str, fn() -> Table);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--markdown");
@@ -27,7 +30,7 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".into());
-    let sweeps: &[(&str, fn() -> Table)] = &[
+    let sweeps: &[Sweep] = &[
         ("kbas-loss", sweep_kbas_loss),
         ("fig4-price", sweep_fig4_price),
         ("lsa-price", sweep_lsa_price),

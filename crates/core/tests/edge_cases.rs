@@ -86,7 +86,7 @@ fn segment_set_single_point_universe() {
 fn interval_min_max_extremes() {
     // Construction near the numeric extremes must not overflow in length.
     let a = Interval::new(i64::MIN / 4, i64::MAX / 4);
-    assert!(a.len() > 0);
+    assert!(!a.is_empty());
     assert!(a.contains_point(0));
     let s = SegmentSet::singleton(a);
     assert_eq!(s.total_len(), a.len());

@@ -1,0 +1,172 @@
+//! Content-addressed in-memory result caching.
+//!
+//! Grid sweeps revisit the same instance many times — every `k` of a
+//! `(n, seed) × k` grid shares the instance, and the expensive side of most
+//! tasks is the unbounded reference (`OPT_∞` exact branch-and-bound, or the
+//! greedy EDF baseline), which does not depend on `k` at all. The cache
+//! therefore has two layers, both keyed by a content hash of the instance
+//! (not by task identity):
+//!
+//! * the **reference layer** maps `(instance_hash, exact_ref)` to the
+//!   shared unbounded reference solution, so a sweep over `k ∈ {1, 2, 4, 8}`
+//!   pays for `OPT_∞` once;
+//! * the **result layer** maps the full task key
+//!   `(instance_hash, k, machines, algo, exact_ref)` to the finished
+//!   [`SolveOutput`], so exact duplicates are free.
+//!
+//! Caching never changes *what* a task returns — solvers are pure, so a
+//! cached output is identical to a recomputed one — only what it costs.
+//! Cache-hit accounting is reported in
+//! [`EngineStats`](crate::pool::EngineStats) and the `engine.cache.*`
+//! counters, never in per-task output (see the determinism contract in
+//! `docs/engine.md`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pobp_core::{JobSet, Schedule};
+
+use crate::task::{Algo, SolveOutput};
+
+/// FNV-1a content hash of a job set: every job's release, deadline, length,
+/// and value bits, in id order. Two `JobSet`s hash equal iff they contain
+/// the same jobs in the same order.
+pub fn instance_hash(jobs: &JobSet) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(jobs.len() as u64);
+    for (_, j) in jobs.iter() {
+        mix(j.release as u64);
+        mix(j.deadline as u64);
+        mix(j.length as u64);
+        mix(j.value.to_bits());
+    }
+    h
+}
+
+/// The shared unbounded reference of one instance: the `∞`-preemptive
+/// schedule (exact or greedy) and its value.
+#[derive(Clone, Debug)]
+pub struct RefSolution {
+    /// The reference schedule.
+    pub schedule: Schedule,
+    /// Its value. For the exact branch this is `OPT_∞`; for the greedy
+    /// branch it is the baseline's value (a lower bound on `OPT_∞`).
+    pub value: f64,
+}
+
+/// Full task key for the result layer.
+type ResultKey = (u64, u32, usize, Algo, bool);
+
+/// The two-layer cache. Cheap to share: clone the [`Arc`] handle.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    refs: Mutex<HashMap<(u64, bool), Arc<RefSolution>>>,
+    results: Mutex<HashMap<ResultKey, SolveOutput>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up the reference layer.
+    pub fn get_ref(&self, inst: u64, exact: bool) -> Option<Arc<RefSolution>> {
+        self.refs.lock().unwrap().get(&(inst, exact)).cloned()
+    }
+
+    /// Stores into the reference layer, returning the canonical entry.
+    ///
+    /// Under a race two workers may both compute the reference; first write
+    /// wins and both use the winner, so every task observing the cache sees
+    /// one consistent reference solution. (Solvers are deterministic, so
+    /// the racers computed identical solutions anyway.)
+    pub fn put_ref(&self, inst: u64, exact: bool, sol: RefSolution) -> Arc<RefSolution> {
+        self.refs
+            .lock()
+            .unwrap()
+            .entry((inst, exact))
+            .or_insert_with(|| Arc::new(sol))
+            .clone()
+    }
+
+    /// Looks up the result layer by the full task key.
+    pub fn get_result(
+        &self,
+        inst: u64,
+        k: u32,
+        machines: usize,
+        algo: Algo,
+        exact: bool,
+    ) -> Option<SolveOutput> {
+        self.results.lock().unwrap().get(&(inst, k, machines, algo, exact)).cloned()
+    }
+
+    /// Stores into the result layer.
+    pub fn put_result(
+        &self,
+        inst: u64,
+        k: u32,
+        machines: usize,
+        algo: Algo,
+        exact: bool,
+        out: SolveOutput,
+    ) {
+        self.results.lock().unwrap().insert((inst, k, machines, algo, exact), out);
+    }
+
+    /// Number of entries across both layers (for reporting).
+    pub fn len(&self) -> usize {
+        self.refs.lock().unwrap().len() + self.results.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_core::Job;
+
+    fn inst(v: f64) -> JobSet {
+        vec![Job::new(0, 10, 3, v), Job::new(1, 8, 2, 1.0)].into_iter().collect()
+    }
+
+    #[test]
+    fn hash_is_content_addressed() {
+        assert_eq!(instance_hash(&inst(2.0)), instance_hash(&inst(2.0)));
+        assert_ne!(instance_hash(&inst(2.0)), instance_hash(&inst(3.0)));
+        // Order matters: the hash addresses the JobSet, not the multiset.
+        let a: JobSet = vec![Job::new(0, 10, 3, 2.0), Job::new(1, 8, 2, 1.0)]
+            .into_iter()
+            .collect();
+        let b: JobSet = vec![Job::new(1, 8, 2, 1.0), Job::new(0, 10, 3, 2.0)]
+            .into_iter()
+            .collect();
+        assert_ne!(instance_hash(&a), instance_hash(&b));
+    }
+
+    #[test]
+    fn ref_layer_first_write_wins() {
+        let c = ResultCache::new();
+        assert!(c.get_ref(7, true).is_none());
+        let first = c.put_ref(7, true, RefSolution { schedule: Schedule::new(), value: 1.0 });
+        let second = c.put_ref(7, true, RefSolution { schedule: Schedule::new(), value: 2.0 });
+        assert_eq!(first.value, 1.0);
+        assert_eq!(second.value, 1.0);
+        assert_eq!(c.get_ref(7, true).unwrap().value, 1.0);
+        assert!(c.get_ref(7, false).is_none());
+        assert_eq!(c.len(), 1);
+    }
+}

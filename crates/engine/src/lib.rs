@@ -1,0 +1,60 @@
+//! # pobp-engine — deterministic parallel batch solving
+//!
+//! A std-only work-queue + worker-pool engine (no external dependencies;
+//! `std::thread` + atomics + mutexes) that fans a batch of solver tasks
+//! across N workers and returns results **in deterministic input order**
+//! regardless of thread count or completion order. It is the harness layer
+//! under `pobp sweep` and the `experiments --threads N` binary; see
+//! `docs/engine.md` for the full contract.
+//!
+//! Robustness is first-class:
+//!
+//! * every task runs under `catch_unwind`, so a panicking solver yields a
+//!   [`TaskResult::Panicked`] record instead of killing the sweep;
+//! * tasks carry an optional wall-clock deadline enforced by a watchdog
+//!   thread plus a cooperative [`cancel`] token checked at every stage
+//!   boundary of the task wrapper;
+//! * panicking attempts get bounded retry with exponential backoff, with
+//!   attempt accounting in each [`TaskReport`];
+//! * a content-addressed [`cache`] shares the expensive unbounded-reference
+//!   side (`OPT_∞`) across every `k` of a grid and deduplicates identical
+//!   tasks outright.
+//!
+//! With the `obs` cargo feature the engine emits the `engine.*` counter
+//! families (tasks run/cached/panicked/timed-out/retried, queue depth,
+//! per-worker busy time); see `docs/observability.md`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pobp_engine::{Algo, EngineConfig, GridSpec, TaskResult, run_batch};
+//!
+//! // A 2×2×2 grid of reduction solves, 2 worker threads.
+//! let grid = GridSpec::new(vec![6, 8], vec![1, 2], vec![0, 1], Algo::Reduction);
+//! let cfg = EngineConfig { threads: 2, ..EngineConfig::default() };
+//! let batch = run_batch(&grid.tasks(), cfg);
+//! assert_eq!(batch.reports.len(), 8);
+//! for (i, r) in batch.reports.iter().enumerate() {
+//!     assert_eq!(r.index, i); // input order, always
+//!     assert!(matches!(r.result, TaskResult::Done(_)));
+//! }
+//! // The terminal kinds partition the batch.
+//! let s = batch.stats;
+//! assert_eq!(s.run + s.cached + s.panicked + s.timed_out + s.cancelled, s.tasks);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cancel;
+pub mod grid;
+pub mod pool;
+mod solve;
+pub mod task;
+
+pub use cache::{instance_hash, RefSolution, ResultCache};
+pub use cancel::{CancelToken, StopReason, TaskCtx};
+pub use grid::GridSpec;
+pub use pool::{run_batch, BatchReport, Engine, EngineConfig, EngineStats};
+pub use task::{Algo, SolveOutput, SolveTask, TaskReport, TaskResult};

@@ -1,0 +1,322 @@
+//! The work-queue + worker-pool core: fan a batch of tasks across N
+//! threads, survive panics and overruns, return reports in input order.
+//!
+//! Workers claim tasks from a shared atomic cursor and write each report
+//! into its input slot, so the returned order — and, because every solver
+//! is a pure function, the returned *content* — is independent of thread
+//! count and completion order. A watchdog thread cancels the token of any
+//! in-flight task whose wall-clock deadline has passed; the task wrapper
+//! notices at its next stage boundary (see [`crate::cancel`]).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pobp_core::{obs_count, obs_event};
+
+use crate::cache::{instance_hash, ResultCache};
+use crate::cancel::{CancelToken, StopReason, TaskCtx};
+use crate::solve::solve_task;
+use crate::task::{SolveTask, TaskReport, TaskResult};
+
+/// Engine configuration. `Default` is the deterministic sweep setup:
+/// hardware parallelism, no deadline, one retry, caching on.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means `std::thread::available_parallelism()`.
+    pub threads: usize,
+    /// Per-task wall-clock deadline, measured from the task's start.
+    /// `None` disables the watchdog entirely. Note that deadline outcomes
+    /// depend on machine speed — see the determinism contract in
+    /// `docs/engine.md`.
+    pub deadline: Option<Duration>,
+    /// Extra attempts after a panicking first attempt (`0` disables retry).
+    pub max_retries: u32,
+    /// Base backoff slept before retry `r` (doubled per retry, capped at
+    /// 100 ms): `backoff · 2^(r−1)`.
+    pub backoff: Duration,
+    /// Whether the content-addressed result cache is consulted.
+    pub use_cache: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            deadline: None,
+            max_retries: 1,
+            backoff: Duration::from_millis(5),
+            use_cache: true,
+        }
+    }
+}
+
+/// Batch-level accounting. The four terminal kinds plus `cached` partition
+/// the batch: `run + cached + panicked + timed_out + cancelled == tasks`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tasks in the batch.
+    pub tasks: usize,
+    /// Tasks computed fresh to a successful result.
+    pub run: usize,
+    /// Tasks answered from the result cache without running.
+    pub cached: usize,
+    /// Tasks whose every attempt panicked.
+    pub panicked: usize,
+    /// Tasks that overran their deadline.
+    pub timed_out: usize,
+    /// Tasks cancelled with the batch.
+    pub cancelled: usize,
+    /// Retry attempts used across the batch (not a task count).
+    pub retried: usize,
+    /// Reference-layer cache hits (subset of `run` tasks).
+    pub ref_cache_hits: usize,
+}
+
+/// What [`Engine::run_batch`] returns: per-task reports in input order
+/// plus the batch accounting.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// One report per task; `reports[i].index == i`.
+    pub reports: Vec<TaskReport>,
+    /// Batch accounting (see [`EngineStats`]).
+    pub stats: EngineStats,
+}
+
+/// Internal atomic accumulator behind [`EngineStats`].
+#[derive(Default)]
+struct StatsCell {
+    run: AtomicUsize,
+    cached: AtomicUsize,
+    panicked: AtomicUsize,
+    timed_out: AtomicUsize,
+    cancelled: AtomicUsize,
+    retried: AtomicUsize,
+    ref_cache_hits: AtomicUsize,
+}
+
+impl StatsCell {
+    fn snapshot(&self, tasks: usize) -> EngineStats {
+        EngineStats {
+            tasks,
+            run: self.run.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            ref_cache_hits: self.ref_cache_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A reusable batch-solving engine: configuration, the shared result
+/// cache (persists across batches), and a batch-level cancel token.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: Arc<ResultCache>,
+    batch: CancelToken,
+}
+
+impl Engine {
+    /// An engine with the given configuration and an empty cache.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine { cfg, cache: Arc::new(ResultCache::new()), batch: CancelToken::new() }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The shared result cache (persists across `run_batch` calls).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Cancels the current and all future batches of this engine: every
+    /// task not yet finished reports [`TaskResult::Cancelled`].
+    pub fn cancel_all(&self) {
+        self.batch.cancel();
+    }
+
+    /// Runs `tasks` across the configured worker pool and returns one
+    /// report per task, in input order.
+    pub fn run_batch(&self, tasks: &[SolveTask]) -> BatchReport {
+        let n = tasks.len();
+        let stats = StatsCell::default();
+        if n == 0 {
+            return BatchReport { reports: Vec::new(), stats: stats.snapshot(0) };
+        }
+        let threads = match self.cfg.threads {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
+            t => t,
+        }
+        .min(n)
+        .max(1);
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<TaskReport>>> = Mutex::new(vec![None; n]);
+        let inflight: Mutex<HashMap<usize, (Instant, CancelToken)>> = Mutex::new(HashMap::new());
+        let watchdog_done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            if self.cfg.deadline.is_some() {
+                s.spawn(|| {
+                    while !watchdog_done.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(2));
+                        let now = Instant::now();
+                        for (at, token) in inflight.lock().unwrap().values() {
+                            if now >= *at && !token.is_cancelled() {
+                                obs_count!("engine.watchdog.cancels");
+                                token.cancel();
+                            }
+                        }
+                    }
+                });
+            }
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut busy = Duration::ZERO;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            obs_event!("engine.queue.depth", (n - i - 1) as u64);
+                            let start = Instant::now();
+                            let report = self.run_one(i, &tasks[i], &stats, &inflight);
+                            busy += start.elapsed();
+                            slots.lock().unwrap()[i] = Some(report);
+                        }
+                        obs_event!("engine.worker.busy_us", busy.as_micros() as u64);
+                    })
+                })
+                .collect();
+            // Join the workers before stopping the watchdog: a worker panic
+            // here (outside the per-task catch_unwind) is an engine bug.
+            for w in workers {
+                w.join().expect("engine worker panicked outside the task wrapper");
+            }
+            watchdog_done.store(true, Ordering::Release);
+        });
+
+        let reports: Vec<TaskReport> = slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every claimed task writes its slot"))
+            .collect();
+        BatchReport { reports, stats: stats.snapshot(n) }
+    }
+
+    /// Runs a single claimed task: cache check, attempt loop under
+    /// `catch_unwind`, retry with backoff, terminal accounting.
+    fn run_one(
+        &self,
+        index: usize,
+        task: &SolveTask,
+        stats: &StatsCell,
+        inflight: &Mutex<HashMap<usize, (Instant, CancelToken)>>,
+    ) -> TaskReport {
+        let cache = self.cfg.use_cache.then_some(&*self.cache);
+        let inst = instance_hash(&task.instance);
+        if let Some(c) = cache {
+            if let Some(out) = c.get_result(inst, task.k, task.machines, task.algo, task.exact_ref)
+            {
+                obs_count!("engine.tasks.cached");
+                stats.cached.fetch_add(1, Ordering::Relaxed);
+                return TaskReport {
+                    index,
+                    label: task.label.clone(),
+                    attempts: 0,
+                    result: TaskResult::Done(out),
+                };
+            }
+        }
+
+        let token = CancelToken::new();
+        let deadline_at = self.cfg.deadline.map(|d| Instant::now() + d);
+        let ctx =
+            TaskCtx { cancel: token.clone(), batch: self.batch.clone(), deadline: deadline_at };
+        if let Some(at) = deadline_at {
+            inflight.lock().unwrap().insert(index, (at, token));
+        }
+
+        let mut attempts = 0u32;
+        let result = loop {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| solve_task(task, &ctx, cache))) {
+                Ok(Ok((out, ref_hit))) => {
+                    obs_count!("engine.tasks.run");
+                    stats.run.fetch_add(1, Ordering::Relaxed);
+                    if ref_hit {
+                        stats.ref_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(c) = cache {
+                        c.put_result(
+                            inst,
+                            task.k,
+                            task.machines,
+                            task.algo,
+                            task.exact_ref,
+                            out.clone(),
+                        );
+                    }
+                    break TaskResult::Done(out);
+                }
+                Ok(Err(StopReason::DeadlineExceeded)) => {
+                    obs_count!("engine.tasks.timed_out");
+                    stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                    break TaskResult::TimedOut;
+                }
+                Ok(Err(StopReason::BatchCancelled)) => {
+                    obs_count!("engine.tasks.cancelled");
+                    stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                    break TaskResult::Cancelled;
+                }
+                Err(payload) => {
+                    if attempts <= self.cfg.max_retries && ctx.should_stop().is_none() {
+                        obs_count!("engine.tasks.retried");
+                        stats.retried.fetch_add(1, Ordering::Relaxed);
+                        let exp = attempts.saturating_sub(1).min(16);
+                        let pause = self
+                            .cfg
+                            .backoff
+                            .saturating_mul(1u32 << exp)
+                            .min(Duration::from_millis(100));
+                        std::thread::sleep(pause);
+                        continue;
+                    }
+                    obs_count!("engine.tasks.panicked");
+                    stats.panicked.fetch_add(1, Ordering::Relaxed);
+                    break TaskResult::Panicked { message: panic_message(&*payload) };
+                }
+            }
+        };
+        if deadline_at.is_some() {
+            inflight.lock().unwrap().remove(&index);
+        }
+        TaskReport { index, label: task.label.clone(), attempts, result }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<opaque panic payload>".to_string()
+    }
+}
+
+/// One-shot convenience: build an [`Engine`] with `cfg`, run `tasks`.
+pub fn run_batch(tasks: &[SolveTask], cfg: EngineConfig) -> BatchReport {
+    Engine::new(cfg).run_batch(tasks)
+}

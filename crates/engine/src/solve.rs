@@ -1,0 +1,140 @@
+//! The task wrapper: one `SolveTask` → one verified `SolveOutput`.
+//!
+//! Every task runs in two stages — the unbounded *reference* (the expensive,
+//! `k`-independent side, served from the cache's reference layer when
+//! possible) and the *bounded* algorithm itself — with a cooperative
+//! [`TaskCtx`] check at each stage boundary. Panics are **not** handled
+//! here: they unwind out to the pool's `catch_unwind` so the taxonomy
+//! (panic vs timeout vs cancel) stays in one place.
+
+use std::sync::Arc;
+
+use pobp_core::{obs_count, obs_time, schedule_stats, JobId, Schedule};
+use pobp_sched::{
+    combined_from_scratch, greedy_unbounded, iterative_multi_machine, k_preemption_combined,
+    lsa_cs, opt_unbounded, reduce_to_k_bounded, schedule_k0,
+};
+
+use crate::cache::{instance_hash, RefSolution, ResultCache};
+use crate::cancel::{StopReason, TaskCtx};
+use crate::task::{Algo, SolveOutput, SolveTask};
+
+/// Computes the unbounded reference of `task`, consulting `cache`'s
+/// reference layer. The returned flag is `true` on a cache hit.
+fn reference(
+    task: &SolveTask,
+    ids: &[JobId],
+    cache: Option<&ResultCache>,
+) -> (Arc<RefSolution>, bool) {
+    let inst = instance_hash(&task.instance);
+    if let Some(c) = cache {
+        if let Some(hit) = c.get_ref(inst, task.exact_ref) {
+            obs_count!("engine.cache.ref_hits");
+            return (hit, true);
+        }
+    }
+    let sol = obs_time!("engine.solve.time.reference", {
+        if task.exact_ref {
+            let opt = opt_unbounded(&task.instance, ids);
+            RefSolution { schedule: opt.schedule, value: opt.value }
+        } else {
+            let inf = greedy_unbounded(&task.instance, ids);
+            let value = inf.schedule.value(&task.instance);
+            RefSolution { schedule: inf.schedule, value }
+        }
+    });
+    obs_count!("engine.solve.ref_computed");
+    let sol = match cache {
+        Some(c) => c.put_ref(inst, task.exact_ref, sol),
+        None => Arc::new(sol),
+    };
+    (sol, false)
+}
+
+/// Runs the bounded stage of `task` against the reference schedule.
+/// Returns the schedule, the effective `k` to verify against, and the
+/// combined algorithm's branch values when available.
+fn bounded_stage(
+    task: &SolveTask,
+    ids: &[JobId],
+    reference: &Schedule,
+) -> (Schedule, u32, Option<(f64, f64)>) {
+    let jobs = &task.instance;
+    let k = task.k;
+    if task.machines > 1 {
+        // §4.3.4 iterative extension: each machine's run builds its own
+        // greedy reference over the residual job set.
+        let schedule = match task.algo {
+            Algo::Reduction => iterative_multi_machine(jobs, ids, task.machines, |js, rem| {
+                let inf = greedy_unbounded(js, rem);
+                reduce_to_k_bounded(js, &inf.schedule, k)
+                    .expect("greedy reference is feasible")
+                    .schedule
+            }),
+            Algo::Combined => iterative_multi_machine(jobs, ids, task.machines, |js, rem| {
+                combined_from_scratch(js, rem, k).chosen
+            }),
+            Algo::LsaCs => iterative_multi_machine(jobs, ids, task.machines, |js, rem| {
+                lsa_cs(js, rem, k).schedule
+            }),
+            Algo::K0 => iterative_multi_machine(jobs, ids, task.machines, |js, rem| {
+                schedule_k0(js, rem).schedule
+            }),
+            Algo::PanicForTest => panic!("injected panic (Algo::PanicForTest)"),
+        };
+        let eff_k = if task.algo == Algo::K0 { 0 } else { k };
+        return (schedule, eff_k, None);
+    }
+    match task.algo {
+        Algo::Reduction => {
+            let red = reduce_to_k_bounded(jobs, reference, k)
+                .expect("reference schedule is feasible");
+            (red.schedule, k, None)
+        }
+        Algo::Combined => {
+            let out = k_preemption_combined(jobs, ids, reference, k)
+                .expect("reference schedule is feasible");
+            let branches = Some((out.strict.value(jobs), out.lax.value(jobs)));
+            (out.chosen, k, branches)
+        }
+        Algo::LsaCs => (lsa_cs(jobs, ids, k).schedule, k, None),
+        Algo::K0 => (schedule_k0(jobs, ids).schedule, 0, None),
+        Algo::PanicForTest => panic!("injected panic (Algo::PanicForTest)"),
+    }
+}
+
+/// Runs one task to completion. `Err` carries the stage-boundary stop
+/// reason; panics unwind to the caller (the pool's `catch_unwind`).
+///
+/// The returned flag is `true` when the reference came from the cache
+/// (pure accounting — the output itself is identical either way).
+pub(crate) fn solve_task(
+    task: &SolveTask,
+    ctx: &TaskCtx,
+    cache: Option<&ResultCache>,
+) -> Result<(SolveOutput, bool), StopReason> {
+    if let Some(stop) = ctx.should_stop() {
+        return Err(stop);
+    }
+    let ids: Vec<JobId> = task.instance.ids().collect();
+    let (reference, ref_hit) = reference(task, &ids, cache);
+    if let Some(stop) = ctx.should_stop() {
+        return Err(stop);
+    }
+    let (schedule, eff_k, branch_values) =
+        obs_time!("engine.solve.time.bounded", bounded_stage(task, &ids, &reference.schedule));
+    schedule
+        .verify(&task.instance, Some(eff_k))
+        .expect("engine produced an infeasible schedule");
+    let stats = schedule_stats(&task.instance, &schedule);
+    Ok((
+        SolveOutput {
+            alg_value: stats.value,
+            ref_value: reference.value,
+            scheduled: stats.scheduled,
+            preemptions: stats.total_preemptions,
+            branch_values,
+        },
+        ref_hit,
+    ))
+}

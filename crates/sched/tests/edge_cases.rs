@@ -149,7 +149,7 @@ fn iterative_multi_machine_with_greedy_each_round() {
     let mut round = 0usize;
     let s = iterative_multi_machine(&jobs, &ids_of(6), 3, |js, rem| {
         round += 1;
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             lsa_cs(js, rem, 1).schedule
         } else {
             schedule_k0(js, rem).schedule

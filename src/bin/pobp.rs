@@ -13,6 +13,7 @@
 //! The instance format is the one of `pobp::prelude::{write_jobs, parse_jobs}`:
 //! one `release deadline length value` line per job.
 
+use pobp::cli::{flag, has_flag, parse_num, parse_num_list};
 use pobp::prelude::*;
 use std::io::Read;
 
@@ -25,6 +26,7 @@ fn main() {
         Some("sim") => cmd_sim(&args[1..]),
         Some("choose-k") => cmd_choose_k(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -67,33 +69,21 @@ USAGE:
   pobp sim --policy <edf|budget|nonpre> [--k K] [--delta D]         (instance on stdin)
   pobp choose-k --delta D [--kmax K]                                (instance on stdin)
   pobp replay --plan FILE --delta D                                 (instance on stdin)
+  pobp sweep [--n LIST] [--k LIST] [--seeds S] [--alg A] [--threads N]
+             [--deadline-ms MS] [--machines M] [--exact-ref] [--no-cache]
+             [--retries R]                       (grid sweep, JSON lines on stdout)
 
 Any command also accepts --obs (print the JSON counter report to stderr) or
 --obs-out FILE (write it to FILE). Counters require building with
 `--features obs`; see docs/observability.md.
+
+sweep runs the (n, k, seed) grid through the parallel batch engine
+(docs/engine.md): one JSON line per task on stdout, in deterministic grid
+order regardless of --threads; the batch summary goes to stderr. LIST
+flags take comma-separated values (e.g. --n 20,40 --k 0,1,2); --seeds S
+sweeps seeds 0..S. --alg is one of reduction|combined|lsa|k0 (plus the
+test-only `panic`, which exercises panic isolation).
 ";
-
-/// Tiny flag parser: `--name value` pairs plus boolean `--name` flags.
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
-where
-    T::Err: std::fmt::Display,
-{
-    match flag(args, name) {
-        Some(v) => v.parse().map_err(|e| format!("{name}: {e}")),
-        None => Ok(default),
-    }
-}
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let kind = flag(args, "--kind").ok_or("gen needs --kind")?;
@@ -297,6 +287,119 @@ fn cmd_choose_k(args: &[String]) -> Result<(), String> {
         choice.k, choice.replayed_value, choice.planned_value
     );
     Ok(())
+}
+
+/// `pobp sweep`: expand an (n, k, seed) grid into solver tasks and run them
+/// through the parallel batch engine, one JSON line per task on stdout.
+///
+/// Output lines are a pure function of the grid — no durations, no cache
+/// flags — so `--threads 4` and `--threads 1` emit byte-identical bytes
+/// (the determinism contract of docs/engine.md). The batch summary goes to
+/// stderr.
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let ns: Vec<usize> = parse_num_list(args, "--n", &[20, 40])?;
+    let ks: Vec<u32> = parse_num_list(args, "--k", &[0, 1, 2, 4])?;
+    let seed_count: u64 = parse_num(args, "--seeds", 5u64)?;
+    let threads: usize = parse_num(args, "--threads", 0usize)?;
+    let deadline_ms: u64 = parse_num(args, "--deadline-ms", 0u64)?;
+    let machines: usize = parse_num(args, "--machines", 1usize)?;
+    let retries: u32 = parse_num(args, "--retries", 1u32)?;
+    let alg_name = flag(args, "--alg").unwrap_or_else(|| "reduction".into());
+    let algo = Algo::parse(&alg_name)
+        .ok_or_else(|| format!("unknown --alg {alg_name} (try reduction|combined|lsa|k0)"))?;
+    let exact_ref = has_flag(args, "--exact-ref");
+    if machines == 0 {
+        return Err("--machines must be at least 1".into());
+    }
+
+    let grid = GridSpec {
+        ns: ns.clone(),
+        ks: ks.clone(),
+        seeds: (0..seed_count).collect(),
+        algo,
+        machines,
+        exact_ref,
+    };
+    if grid.is_empty() {
+        return Err("empty grid: every one of --n/--k/--seeds needs at least one value".into());
+    }
+    let cfg = EngineConfig {
+        threads,
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        max_retries: retries,
+        use_cache: !has_flag(args, "--no-cache"),
+        ..EngineConfig::default()
+    };
+    let batch = pobp::engine::run_batch(&grid.tasks(), cfg);
+
+    // Rebuild the grid coordinates in task order (ns × seeds × ks — the
+    // GridSpec expansion order) and emit one JSON line per report.
+    let mut coords = Vec::with_capacity(grid.len());
+    for &n in &ns {
+        for &seed in &grid.seeds {
+            for &k in &ks {
+                coords.push((n, k, seed));
+            }
+        }
+    }
+    for (&(n, k, seed), report) in coords.iter().zip(&batch.reports) {
+        let mut line = format!(
+            "{{\"n\":{n},\"k\":{k},\"seed\":{seed},\"alg\":\"{}\",\"machines\":{machines},\
+             \"status\":\"{}\",\"attempts\":{}",
+            algo.name(),
+            report.result.status(),
+            report.attempts,
+        );
+        match &report.result {
+            TaskResult::Done(out) => {
+                line.push_str(&format!(
+                    ",\"value\":{},\"ref_value\":{},\"scheduled\":{},\"preemptions\":{}",
+                    out.alg_value, out.ref_value, out.scheduled, out.preemptions,
+                ));
+                if let Some(p) = out.price() {
+                    line.push_str(&format!(",\"price\":{p}"));
+                }
+            }
+            TaskResult::Panicked { message } => {
+                line.push_str(&format!(",\"message\":\"{}\"", json_escape(message)));
+            }
+            TaskResult::TimedOut | TaskResult::Cancelled => {}
+        }
+        line.push('}');
+        println!("{line}");
+    }
+    let s = batch.stats;
+    eprintln!(
+        "sweep: {} tasks ({} run, {} cached, {} panicked, {} timed out, {} cancelled, \
+         {} retries, {} ref-cache hits) on {} threads",
+        s.tasks,
+        s.run,
+        s.cached,
+        s.panicked,
+        s.timed_out,
+        s.cancelled,
+        s.retried,
+        s.ref_cache_hits,
+        if threads == 0 { "auto".to_string() } else { threads.to_string() },
+    );
+    Ok(())
+}
+
+/// Minimal JSON string escaping for panic messages.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,103 @@
+//! Shared command-line helpers for the `pobp` binary and the bench
+//! harnesses: `--name value` flag extraction and number/list parsing with
+//! errors that name the offending flag and echo the raw value.
+//!
+//! These used to live inline in `src/bin/pobp.rs`; they are a module of the
+//! facade crate so the `sweep` subcommand and the `experiments` binary
+//! share one implementation instead of each growing its own.
+
+/// Returns the value following `--name`, if present: `flag(args, "--k")`
+/// on `["--k", "2"]` is `Some("2")`.
+pub fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Whether the boolean flag `--name` is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses the value of `--name` as a `T`, falling back to `default` when
+/// the flag is absent. A malformed value reports the flag name **and** the
+/// raw text: `invalid value for --n: invalid digit found in string (got
+/// "ten")`.
+pub fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, name) {
+        Some(v) => parse_as(&v, name),
+        None => Ok(default),
+    }
+}
+
+/// Parses the comma-separated value of `--name` (e.g. `--n 10,20,40`) into
+/// a list, falling back to `default` when the flag is absent. Empty items
+/// (trailing commas) are rejected with the same flag-naming error shape as
+/// [`parse_num`].
+pub fn parse_num_list<T>(
+    args: &[String],
+    name: &str,
+    default: &[T],
+) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr + Clone,
+    T::Err: std::fmt::Display,
+{
+    match flag(args, name) {
+        Some(v) => v.split(',').map(|item| parse_as(item.trim(), name)).collect(),
+        None => Ok(default.to_vec()),
+    }
+}
+
+/// The single place a raw flag value is parsed — every error produced by
+/// this module names the flag and echoes the exact text it choked on.
+fn parse_as<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("invalid value for {name}: {e} (got {raw:?})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_defaults() {
+        let a = args(&["--n", "12", "--gantt"]);
+        assert_eq!(flag(&a, "--n").as_deref(), Some("12"));
+        assert_eq!(flag(&a, "--k"), None);
+        assert!(has_flag(&a, "--gantt"));
+        assert!(!has_flag(&a, "--svg"));
+        assert_eq!(parse_num(&a, "--n", 0u32), Ok(12));
+        assert_eq!(parse_num(&a, "--k", 7u32), Ok(7));
+    }
+
+    #[test]
+    fn parse_errors_name_the_flag_and_echo_the_value() {
+        let a = args(&["--n", "ten"]);
+        let err = parse_num(&a, "--n", 0u32).unwrap_err();
+        assert!(err.contains("--n"), "{err}");
+        assert!(err.contains("\"ten\""), "{err}");
+        let err = parse_num_list(&a, "--n", &[0u32]).unwrap_err();
+        assert!(err.contains("--n") && err.contains("\"ten\""), "{err}");
+    }
+
+    #[test]
+    fn lists_parse_and_trim() {
+        let a = args(&["--k", "1, 2,4"]);
+        assert_eq!(parse_num_list(&a, "--k", &[9u32]), Ok(vec![1, 2, 4]));
+        assert_eq!(parse_num_list(&a, "--n", &[9u32]), Ok(vec![9]));
+        let bad = args(&["--k", "1,,2"]);
+        assert!(parse_num_list(&bad, "--k", &[0u32]).is_err());
+    }
+}

@@ -17,7 +17,10 @@
 //!   (Algorithm 3), the `k = 0` case (§5), multi-machine extensions
 //!   (§4.3.4), and exact oracles;
 //! * [`instances`] — Figure 2 / Figure 4 lower-bound generators and seeded
-//!   random workloads.
+//!   random workloads;
+//! * [`engine`] — the deterministic parallel batch-solving engine behind
+//!   `pobp sweep` and `experiments --threads N` (worker pool, panic
+//!   isolation, deadlines, result caching; `docs/engine.md`).
 //!
 //! Building with `--features obs` compiles in the algorithm-level
 //! counter/timer layer ([`obs`]); without it every instrumentation macro is
@@ -57,10 +60,13 @@
 
 pub use pobp_core as core;
 pub use pobp_core::obs;
+pub use pobp_engine as engine;
 pub use pobp_forest as forest;
 pub use pobp_instances as instances;
 pub use pobp_sched as sched;
 pub use pobp_sim as sim;
+
+pub mod cli;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -93,5 +99,9 @@ pub mod prelude {
         choose_k, efficiency, execute_online, execute_partitioned, is_robust, max_robust_delta,
         replay_with_overhead, switch_count, switch_points, ExecEvent, ExecTrace, PartitionRule,
         PartitionedOutcome, PlanChoice, Policy, SimConfig, SimOutcome, SwitchPoint,
+    };
+    pub use pobp_engine::{
+        run_batch, Algo, BatchReport, CancelToken, Engine, EngineConfig, EngineStats, GridSpec,
+        SolveOutput, SolveTask, TaskReport, TaskResult,
     };
 }

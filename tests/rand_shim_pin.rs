@@ -1,0 +1,57 @@
+//! Pinned-stream smoke test for the vendored `rand` shim (`vendor/rand`).
+//!
+//! Every seeded constant in this repository — workload tables in
+//! `EXPERIMENTS.md`, the re-pinned prices in `tests/replication.rs`, the
+//! engine's determinism contract (`docs/engine.md`) — is defined by the
+//! shim's SplitMix64 stream, not by upstream `rand` (see
+//! `docs/known_issues.md`, "seeded constants changed"). This test pins the
+//! first eight raw draws for two fixed seeds so that any change to the
+//! generator (re-vendoring upstream `rand`, touching the mixing constants,
+//! changing `seed_from_u64`) fails loudly here instead of silently shifting
+//! every downstream table.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// First eight `next_u64` draws for `seed_from_u64(0)`.
+const SEED_0_STREAM: [u64; 8] = [
+    0x6e78_9e6a_a1b9_65f4,
+    0x06c4_5d18_8009_454f,
+    0xf88b_b8a8_724c_81ec,
+    0x1b39_896a_51a8_749b,
+    0x53cb_9f0c_747e_a2ea,
+    0x2c82_9abe_1f45_32e1,
+    0xc584_133a_c916_ab3c,
+    0x3ee5_7890_41c9_8ac3,
+];
+
+/// First eight `next_u64` draws for `seed_from_u64(42)`.
+const SEED_42_STREAM: [u64; 8] = [
+    0x28ef_e333_b266_f103,
+    0x4752_6757_130f_9f52,
+    0x581c_e1ff_0e4a_e394,
+    0x09bc_585a_2448_23f2,
+    0xde44_31fa_3c80_db06,
+    0x37e9_671c_4537_6d5d,
+    0xccf6_35ee_9e9e_2fa4,
+    0x5705_b877_0b3d_7dd5,
+];
+
+fn stream(seed: u64) -> [u64; 8] {
+    let mut rng = StdRng::seed_from_u64(seed);
+    std::array::from_fn(|_| rng.next_u64())
+}
+
+#[test]
+fn splitmix64_stream_is_pinned() {
+    assert_eq!(stream(0), SEED_0_STREAM, "seed 0 stream moved — see docs/known_issues.md");
+    assert_eq!(stream(42), SEED_42_STREAM, "seed 42 stream moved — see docs/known_issues.md");
+}
+
+#[test]
+fn nearby_seeds_diverge_immediately() {
+    // Guards against a seeding regression that maps close seeds to
+    // overlapping streams (e.g. dropping the golden-ratio increment).
+    assert_ne!(stream(0)[0], stream(1)[0]);
+    assert_ne!(stream(41), stream(42));
+}
