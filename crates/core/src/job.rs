@@ -48,6 +48,11 @@ impl Job {
     }
 
     /// Fallible constructor; see [`Job::new`].
+    ///
+    /// All derived quantities are computed with checked arithmetic: a job
+    /// whose `d_j − r_j` or `r_j + p_j` does not fit in an `i64` is rejected
+    /// with [`JobError::TimeOverflow`] instead of silently wrapping past the
+    /// `p ≤ d − r` check.
     pub fn try_new(
         release: Time,
         deadline: Time,
@@ -60,11 +65,14 @@ impl Job {
         if value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !value.is_finite() {
             return Err(JobError::NonPositiveValue(value));
         }
-        if deadline - release < length {
-            return Err(JobError::WindowTooSmall {
-                window: deadline - release,
-                length,
-            });
+        let window = deadline
+            .checked_sub(release)
+            .ok_or(JobError::TimeOverflow { expr: "deadline - release" })?;
+        release
+            .checked_add(length)
+            .ok_or(JobError::TimeOverflow { expr: "release + length" })?;
+        if window < length {
+            return Err(JobError::WindowTooSmall { window, length });
         }
         Ok(Job { release, deadline, length, value })
     }
@@ -118,6 +126,11 @@ pub enum JobError {
         /// `p_j`.
         length: Time,
     },
+    /// A derived time quantity (`d_j − r_j` or `r_j + p_j`) overflows `i64`.
+    TimeOverflow {
+        /// The expression that overflowed.
+        expr: &'static str,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -127,6 +140,9 @@ impl std::fmt::Display for JobError {
             JobError::NonPositiveValue(v) => write!(f, "job value {v} is not positive"),
             JobError::WindowTooSmall { window, length } => {
                 write!(f, "window {window} is shorter than length {length}")
+            }
+            JobError::TimeOverflow { expr } => {
+                write!(f, "{expr} overflows the i64 time range")
             }
         }
     }
@@ -296,6 +312,30 @@ mod tests {
             Job::try_new(0, 10, 5, f64::INFINITY),
             Err(JobError::NonPositiveValue(_))
         ));
+    }
+
+    #[test]
+    fn extreme_times_are_rejected_not_wrapped() {
+        // deadline − release wraps: i64::MAX − (−2) overflows. Before the
+        // checked arithmetic this produced a bogus negative window that the
+        // `p ≤ d − r` check accepted or rejected arbitrarily.
+        assert!(matches!(
+            Job::try_new(-2, i64::MAX, 1, 1.0),
+            Err(JobError::TimeOverflow { expr: "deadline - release" })
+        ));
+        assert!(matches!(
+            Job::try_new(i64::MIN, 10, 1, 1.0),
+            Err(JobError::TimeOverflow { expr: "deadline - release" })
+        ));
+        // release + length wraps even though the window subtraction is fine.
+        assert!(matches!(
+            Job::try_new(i64::MAX - 1, i64::MAX, 2, 1.0),
+            Err(JobError::TimeOverflow { .. })
+        ));
+        // Large but representable values still work.
+        assert!(Job::try_new(0, i64::MAX, 5, 1.0).is_ok());
+        let err = Job::try_new(-2, i64::MAX, 1, 1.0).unwrap_err();
+        assert!(err.to_string().contains("deadline - release"), "{err}");
     }
 
     #[test]

@@ -168,7 +168,10 @@ impl Schedule {
                 }
             }
         }
-        // Per-machine disjointness, via a sweep over all segment endpoints.
+        // Per-machine disjointness: sort each machine's segments by start
+        // and sweep with the furthest-reaching segment seen so far, so an
+        // overlap is caught even when a long segment contains several later
+        // ones and the adjacent pair happens to be disjoint.
         let mut by_machine: BTreeMap<MachineId, Vec<(Interval, JobId)>> = BTreeMap::new();
         for (&id, a) in &self.by_job {
             let entry = by_machine.entry(a.machine).or_default();
@@ -176,15 +179,42 @@ impl Schedule {
         }
         for (machine, mut segs) in by_machine {
             segs.sort_unstable_by_key(|(s, _)| (s.start, s.end));
-            for pair in segs.windows(2) {
-                let (a, ja) = pair[0];
-                let (b, jb) = pair[1];
-                if a.overlaps(&b) {
-                    return Err(Infeasibility::Overlap { machine, a: (ja, a), b: (jb, b) });
+            let mut reach: Option<(Interval, JobId)> = None;
+            for (b, jb) in segs {
+                if let Some((a, ja)) = reach {
+                    if a.overlaps(&b) {
+                        return Err(Infeasibility::Overlap { machine, a: (ja, a), b: (jb, b) });
+                    }
+                }
+                if reach.is_none_or(|(a, _)| b.end > a.end) {
+                    reach = Some((b, jb));
                 }
             }
         }
         Ok(())
+    }
+
+    /// [`Schedule::verify`] plus the machine-count clause: every assignment
+    /// must target a machine in `0..machines`. [`verify`](Schedule::verify)
+    /// alone cannot check this — a schedule does not know the machine count
+    /// it was produced for — so harnesses that do know it (the batch
+    /// engine's certification layer, for one) call this form.
+    pub fn verify_on(
+        &self,
+        jobs: &JobSet,
+        k: Option<u32>,
+        machines: usize,
+    ) -> Result<(), Infeasibility> {
+        for (&id, a) in &self.by_job {
+            if a.machine >= machines {
+                return Err(Infeasibility::MachineOutOfRange {
+                    job: id,
+                    machine: a.machine,
+                    machines,
+                });
+            }
+        }
+        self.verify(jobs, k)
     }
 }
 
@@ -220,6 +250,16 @@ pub enum Infeasibility {
         /// Second offending `(job, segment)`.
         b: (JobId, Interval),
     },
+    /// An assignment targets a machine outside `0..machines`
+    /// (only checked by [`Schedule::verify_on`]).
+    MachineOutOfRange {
+        /// Offending job.
+        job: JobId,
+        /// Machine the job was assigned to.
+        machine: MachineId,
+        /// Number of machines available.
+        machines: usize,
+    },
     /// A job uses more than `k + 1` segments.
     TooManyPreemptions {
         /// Offending job.
@@ -246,6 +286,9 @@ impl std::fmt::Display for Infeasibility {
                 "machine {machine}: {}:{:?} overlaps {}:{:?}",
                 a.0, a.1, b.0, b.1
             ),
+            Infeasibility::MachineOutOfRange { job, machine, machines } => {
+                write!(f, "{job}: assigned to machine {machine}, but only {machines} exist")
+            }
             Infeasibility::TooManyPreemptions { job, segments, allowed } => {
                 write!(f, "{job}: {segments} segments exceed the allowed {allowed}")
             }
@@ -344,6 +387,61 @@ mod tests {
         // Same segments on different machines are fine.
         s.assign(JobId(1), 1, SegmentSet::from_intervals([seg(3, 8)]));
         assert_eq!(s.verify(&jobs, None), Ok(()));
+    }
+
+    #[test]
+    fn verify_rejects_cross_job_collision_on_shared_machine_of_many() {
+        // Regression: a genuinely multi-machine schedule where two
+        // *different* jobs collide on machine 0 while machine 1 is clean.
+        let jobs = jobs3();
+        let mut s = Schedule::new();
+        s.assign(JobId(0), 0, SegmentSet::from_intervals([seg(0, 4)]));
+        s.assign(JobId(2), 0, SegmentSet::from_intervals([seg(6, 9)]));
+        s.assign(JobId(1), 1, SegmentSet::from_intervals([seg(0, 5)]));
+        assert_eq!(s.verify(&jobs, None), Ok(()));
+        // Move job 2 onto machine 0's busy time: [3, 6) vs job 0's [0, 4).
+        s.assign(JobId(2), 0, SegmentSet::from_intervals([seg(5, 8)]));
+        s.assign(JobId(0), 0, SegmentSet::from_intervals([seg(3, 7)]));
+        let err = s.verify(&jobs, None).unwrap_err();
+        assert!(
+            matches!(err, Infeasibility::Overlap { machine: 0, .. }),
+            "expected machine-0 overlap, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn verify_catches_containment_past_a_disjoint_adjacent_pair() {
+        // Machine 0: job 1 runs [0, 12); jobs 0 and 2 run inside it at
+        // [5, 9) and [9, 12). Sorted by start the adjacent pair
+        // ([5,9), [9,12)) is disjoint — only the furthest-reach sweep sees
+        // that both collide with the long containing segment.
+        let jobs: JobSet = vec![
+            Job::new(0, 20, 4, 1.0),
+            Job::new(0, 20, 12, 2.0),
+            Job::new(0, 20, 3, 4.0),
+        ]
+        .into_iter()
+        .collect();
+        let mut s = Schedule::new();
+        s.assign(JobId(1), 0, SegmentSet::from_intervals([seg(0, 12)]));
+        s.assign(JobId(0), 0, SegmentSet::from_intervals([seg(5, 9)]));
+        s.assign(JobId(2), 0, SegmentSet::from_intervals([seg(9, 12)]));
+        assert!(matches!(s.verify(&jobs, None), Err(Infeasibility::Overlap { machine: 0, .. })));
+    }
+
+    #[test]
+    fn verify_on_enforces_the_machine_range() {
+        let jobs = jobs3();
+        let mut s = Schedule::new();
+        s.assign(JobId(0), 0, SegmentSet::from_intervals([seg(0, 4)]));
+        s.assign(JobId(1), 3, SegmentSet::from_intervals([seg(0, 5)]));
+        // Plain verify cannot know the machine count; verify_on can.
+        assert_eq!(s.verify(&jobs, None), Ok(()));
+        assert_eq!(s.verify_on(&jobs, None, 4), Ok(()));
+        assert!(matches!(
+            s.verify_on(&jobs, None, 2),
+            Err(Infeasibility::MachineOutOfRange { job: JobId(1), machine: 3, machines: 2 })
+        ));
     }
 
     #[test]

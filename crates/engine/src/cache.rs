@@ -12,7 +12,9 @@
 //!   pays for `OPT_∞` once;
 //! * the **result layer** maps the full task key
 //!   `(instance_hash, k, machines, algo, exact_ref)` to the finished
-//!   [`SolveOutput`], so exact duplicates are free.
+//!   [`CachedResult`] — the [`SolveOutput`] *plus* the schedule it was
+//!   derived from and the effective `k`, so a cache hit can be re-certified
+//!   at the engine's trust boundary ([`crate::cert`]) instead of trusted.
 //!
 //! Caching never changes *what* a task returns — solvers are pure, so a
 //! cached output is identical to a recomputed one — only what it costs.
@@ -20,6 +22,12 @@
 //! [`EngineStats`](crate::pool::EngineStats) and the `engine.cache.*`
 //! counters, never in per-task output (see the determinism contract in
 //! `docs/engine.md`).
+//!
+//! With the `chaos` feature an armed [`FaultPlan`](crate::chaos::FaultPlan)
+//! can corrupt entries **at put time**, decided by the entry key: every
+//! consumer of a poisoned entry (including the worker that computed it,
+//! which adopts the canonical entry returned by [`ResultCache::put_ref`])
+//! observes the same corrupt bytes, keeping chaos runs deterministic.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -62,6 +70,19 @@ pub struct RefSolution {
     pub value: f64,
 }
 
+/// A result-layer entry: the output plus the evidence needed to re-certify
+/// it on every hit — the schedule it was derived from and the effective
+/// preemption budget it was verified against.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// The finished output.
+    pub output: SolveOutput,
+    /// The schedule behind `output` (shared, the schedule can be large).
+    pub schedule: Arc<Schedule>,
+    /// The `k` the schedule is held to (`0` for `Algo::K0`, else the task's).
+    pub eff_k: u32,
+}
+
 /// Full task key for the result layer.
 type ResultKey = (u64, u32, usize, Algo, bool);
 
@@ -69,13 +90,22 @@ type ResultKey = (u64, u32, usize, Algo, bool);
 #[derive(Debug, Default)]
 pub struct ResultCache {
     refs: Mutex<HashMap<(u64, bool), Arc<RefSolution>>>,
-    results: Mutex<HashMap<ResultKey, SolveOutput>>,
+    results: Mutex<HashMap<ResultKey, CachedResult>>,
+    #[cfg(feature = "chaos")]
+    chaos: Mutex<Option<Arc<crate::chaos::FaultPlan>>>,
 }
 
 impl ResultCache {
     /// An empty cache.
     pub fn new() -> Self {
         ResultCache::default()
+    }
+
+    /// Arms (or disarms) the fault plan consulted by the corrupt-at-put
+    /// sites. Set by [`Engine::with_chaos`](crate::pool::Engine::with_chaos).
+    #[cfg(feature = "chaos")]
+    pub fn set_chaos(&self, plan: Option<Arc<crate::chaos::FaultPlan>>) {
+        *self.chaos.lock().unwrap() = plan;
     }
 
     /// Looks up the reference layer.
@@ -90,6 +120,14 @@ impl ResultCache {
     /// one consistent reference solution. (Solvers are deterministic, so
     /// the racers computed identical solutions anyway.)
     pub fn put_ref(&self, inst: u64, exact: bool, sol: RefSolution) -> Arc<RefSolution> {
+        #[cfg(feature = "chaos")]
+        let sol = {
+            let mut sol = sol;
+            if let Some(plan) = self.chaos.lock().unwrap().as_ref() {
+                plan.corrupt_ref(inst ^ exact as u64, &mut sol);
+            }
+            sol
+        };
         self.refs
             .lock()
             .unwrap()
@@ -106,11 +144,12 @@ impl ResultCache {
         machines: usize,
         algo: Algo,
         exact: bool,
-    ) -> Option<SolveOutput> {
+    ) -> Option<CachedResult> {
         self.results.lock().unwrap().get(&(inst, k, machines, algo, exact)).cloned()
     }
 
-    /// Stores into the result layer.
+    /// Stores into the result layer. The entry carries its schedule so
+    /// every later hit is re-certified, not trusted (see [`crate::cert`]).
     pub fn put_result(
         &self,
         inst: u64,
@@ -118,9 +157,17 @@ impl ResultCache {
         machines: usize,
         algo: Algo,
         exact: bool,
-        out: SolveOutput,
+        entry: CachedResult,
     ) {
-        self.results.lock().unwrap().insert((inst, k, machines, algo, exact), out);
+        #[cfg(feature = "chaos")]
+        let entry = {
+            let mut entry = entry;
+            if let Some(plan) = self.chaos.lock().unwrap().as_ref() {
+                plan.corrupt_result(inst ^ splitmix_key(k, machines, algo, exact), &mut entry.output);
+            }
+            entry
+        };
+        self.results.lock().unwrap().insert((inst, k, machines, algo, exact), entry);
     }
 
     /// Number of entries across both layers (for reporting).
@@ -132,6 +179,15 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Mixes the non-instance parts of a result key into the chaos decision
+/// key, so distinct `(k, machines, algo, exact)` cells of one instance draw
+/// corruption independently.
+#[cfg(feature = "chaos")]
+fn splitmix_key(k: u32, machines: usize, algo: Algo, exact: bool) -> u64 {
+    let packed = (k as u64) ^ ((machines as u64) << 20) ^ ((algo as u64) << 50) ^ ((exact as u64) << 60);
+    packed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 #[cfg(test)]

@@ -58,12 +58,23 @@ pub struct TaskCtx {
     pub batch: CancelToken,
     /// Absolute wall-clock deadline, if the task has one.
     pub deadline: Option<Instant>,
+    /// Chaos handle for this task (`None` when no fault plan is armed). The
+    /// task wrapper consults it at the stage boundary for the forced
+    /// `deadline` site; see `crate::chaos`.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<crate::chaos::TaskChaos>,
 }
 
 impl TaskCtx {
     /// A context with no deadline and fresh tokens (used by tests).
     pub fn unbounded() -> Self {
-        TaskCtx { cancel: CancelToken::new(), batch: CancelToken::new(), deadline: None }
+        TaskCtx {
+            cancel: CancelToken::new(),
+            batch: CancelToken::new(),
+            deadline: None,
+            #[cfg(feature = "chaos")]
+            chaos: None,
+        }
     }
 
     /// Stage-boundary check: `Some(reason)` when the task must stop now.

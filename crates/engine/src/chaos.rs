@@ -1,0 +1,338 @@
+//! Deterministic fault injection (`chaos` cargo feature).
+//!
+//! A [`FaultPlan`] is a seed plus a per-site firing rate. Every injection
+//! decision is a pure hash of `(seed, site, task content key)` — no RNG
+//! state, no wall clock — so a chaos run replays **byte-identically**: the
+//! same plan over the same task list injects the same faults regardless of
+//! thread count, scheduling order, or cache state. That property is what
+//! lets CI diff a fault-injected `pobp sweep --threads 1` against
+//! `--threads 4` (see `docs/robustness.md`).
+//!
+//! The named sites (pool, task wrapper, cache):
+//!
+//! | site | where | effect |
+//! |---|---|---|
+//! | `panic` | `pool.rs`, inside the attempt `catch_unwind` | panics on **every** attempt (exercises retry exhaustion) |
+//! | `flaky` | `pool.rs`, inside the attempt `catch_unwind` | panics on the **first** attempt only (exercises retry success) |
+//! | `delay` | `pool.rs`, attempt start | sleeps [`FaultPlan::delay`] (exercises the watchdog; wall-clock only) |
+//! | `cancel` | `pool.rs`, before the first attempt | cancels the task's own token (surfaces as a deadline stop) |
+//! | `deadline` | `solve.rs`, reference→bounded stage boundary | forces [`StopReason::DeadlineExceeded`](crate::cancel::StopReason) |
+//! | `corrupt-ref` | `cache.rs`, reference-layer put | perturbs the stored reference value |
+//! | `corrupt-result` | `cache.rs`, result-layer put | perturbs the stored output value |
+//!
+//! Corruption happens at **put** time, decided by the entry key, so every
+//! consumer of a poisoned entry — including the worker that computed it,
+//! which adopts the canonical cache entry — observes the same corrupt
+//! bytes. The certification layer ([`crate::cert`]) must then catch the
+//! mismatch as `CertFailed` before it reaches any output row.
+//!
+//! This module only exists under `--features chaos`; every call site in the
+//! engine is wrapped in `#[cfg(feature = "chaos")]`, so a default build
+//! carries zero trace of the injection code (CI checks the release binary
+//! for the `chaos: injected` marker strings).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cache::RefSolution;
+use crate::task::{SolveOutput, SolveTask};
+
+/// The `pobp sweep` usage addendum for chaos builds. Lives in this module
+/// so every chaos-related CLI string is compiled out with the feature.
+pub const CLI_USAGE: &str = "
+chaos builds only: sweep also accepts
+  --chaos SPEC      comma-separated site:rate entries, e.g.
+                    panic:0.25,deadline:1,corrupt-ref:0.5 with sites
+                    panic|flaky|delay|cancel|deadline|corrupt-ref|corrupt-result
+                    (the pseudo-site delay-ms:N sets the delay duration)
+  --chaos-seed S    seed of the fault plan (default 0); the same seed over
+                    the same grid injects the same faults on any --threads
+See docs/robustness.md.
+";
+
+/// A named fault-injection site. See the module table for semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Panic on every attempt.
+    Panic,
+    /// Panic on the first attempt only.
+    Flaky,
+    /// Sleep at attempt start.
+    Delay,
+    /// Spuriously cancel the task's own token before it starts.
+    SpuriousCancel,
+    /// Force a `DeadlineExceeded` stop at the stage boundary.
+    ForcedDeadline,
+    /// Corrupt the reference-layer cache entry at put time.
+    CorruptRef,
+    /// Corrupt the result-layer cache entry at put time.
+    CorruptResult,
+}
+
+impl FaultSite {
+    /// Every site, in spec/reporting order.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::Panic,
+        FaultSite::Flaky,
+        FaultSite::Delay,
+        FaultSite::SpuriousCancel,
+        FaultSite::ForcedDeadline,
+        FaultSite::CorruptRef,
+        FaultSite::CorruptResult,
+    ];
+
+    /// The stable lowercase name used by `--chaos` specs and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Panic => "panic",
+            FaultSite::Flaky => "flaky",
+            FaultSite::Delay => "delay",
+            FaultSite::SpuriousCancel => "cancel",
+            FaultSite::ForcedDeadline => "deadline",
+            FaultSite::CorruptRef => "corrupt-ref",
+            FaultSite::CorruptResult => "corrupt-result",
+        }
+    }
+
+    /// Parses [`FaultSite::name`] back into a site.
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.name() == s)
+    }
+
+    /// Per-site hash salt, so the same task draws independently per site.
+    fn salt(self) -> u64 {
+        // Arbitrary distinct odd constants.
+        match self {
+            FaultSite::Panic => 0x9e37_79b9_7f4a_7c15,
+            FaultSite::Flaky => 0xbf58_476d_1ce4_e5b9,
+            FaultSite::Delay => 0x94d0_49bb_1331_11eb,
+            FaultSite::SpuriousCancel => 0xd6e8_feb8_6659_fd93,
+            FaultSite::ForcedDeadline => 0xa076_1d64_78bd_642f,
+            FaultSite::CorruptRef => 0xe703_7ed1_a0b4_28db,
+            FaultSite::CorruptResult => 0x8ebc_6af0_9c88_c6e3,
+        }
+    }
+}
+
+/// A seeded, content-keyed fault plan: which sites fire, how often, and
+/// (for delays) for how long. Build with [`FaultPlan::new`] +
+/// [`FaultPlan::with_rate`], or parse a CLI spec with [`FaultPlan::parse`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [f64; FaultSite::ALL.len()],
+    delay: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan (no site ever fires) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, rates: [0.0; FaultSite::ALL.len()], delay: Duration::from_millis(1) }
+    }
+
+    /// Sets `site` to fire with probability `rate` (clamped to `[0, 1]`).
+    pub fn with_rate(mut self, site: FaultSite, rate: f64) -> Self {
+        let idx = FaultSite::ALL.iter().position(|s| *s == site).expect("site is in ALL");
+        self.rates[idx] = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the sleep duration of the `delay` site.
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Parses a `--chaos` spec: comma-separated `site:rate` entries, e.g.
+    /// `"panic:0.25,deadline:1,corrupt-ref:0.5"`. The pseudo-site
+    /// `delay-ms:N` sets the delay duration instead of a rate.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut plan = FaultPlan::new(seed);
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, rate) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("chaos entry `{entry}` is not site:rate"))?;
+            if name == "delay-ms" {
+                let ms: u64 = rate
+                    .parse()
+                    .map_err(|e| format!("chaos entry `{entry}`: bad delay-ms: {e}"))?;
+                plan = plan.with_delay(Duration::from_millis(ms));
+                continue;
+            }
+            let site = FaultSite::parse(name).ok_or_else(|| {
+                let names: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+                format!("unknown chaos site `{name}` (one of {})", names.join("|"))
+            })?;
+            let rate: f64 = rate
+                .parse()
+                .map_err(|e| format!("chaos entry `{entry}`: bad rate: {e}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("chaos entry `{entry}`: rate must be in [0, 1]"));
+            }
+            plan = plan.with_rate(site, rate);
+        }
+        Ok(plan)
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sleep duration of the `delay` site.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    /// Whether `site` fires for the entity identified by `key`. A pure
+    /// function of `(seed, site, key)`: replays identically across threads
+    /// and runs.
+    pub fn fires(&self, site: FaultSite, key: u64) -> bool {
+        let idx = FaultSite::ALL.iter().position(|s| *s == site).expect("site is in ALL");
+        let rate = self.rates[idx];
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ site.salt() ^ splitmix64(key));
+        // Top 53 bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+
+    /// The `panic`/`flaky` site, called inside the pool's per-attempt
+    /// `catch_unwind`: `panic` fires on every attempt, `flaky` only on the
+    /// first (so retry can succeed).
+    pub(crate) fn inject_panic(&self, key: u64, attempt: u32) {
+        if self.fires(FaultSite::Panic, key) {
+            pobp_core::obs_count!("engine.chaos.panic");
+            panic!("chaos: injected panic (site=panic, key={key:#x})");
+        }
+        if attempt == 1 && self.fires(FaultSite::Flaky, key) {
+            pobp_core::obs_count!("engine.chaos.flaky");
+            panic!("chaos: injected panic (site=flaky, key={key:#x})");
+        }
+    }
+
+    /// The `corrupt-ref` site: perturbs a reference solution about to enter
+    /// the cache. Returns whether it fired.
+    pub(crate) fn corrupt_ref(&self, key: u64, sol: &mut RefSolution) -> bool {
+        if !self.fires(FaultSite::CorruptRef, key) {
+            return false;
+        }
+        pobp_core::obs_count!("engine.chaos.corrupt_ref");
+        // Push the claimed reference value well past any certification
+        // tolerance while keeping it finite and positive.
+        sol.value = sol.value * 2.0 + 1.0;
+        true
+    }
+
+    /// The `corrupt-result` site: perturbs a result-layer output about to
+    /// enter the cache. Returns whether it fired.
+    pub(crate) fn corrupt_result(&self, key: u64, out: &mut SolveOutput) -> bool {
+        if !self.fires(FaultSite::CorruptResult, key) {
+            return false;
+        }
+        pobp_core::obs_count!("engine.chaos.corrupt_result");
+        out.alg_value = out.alg_value * 2.0 + 1.0;
+        true
+    }
+}
+
+/// `splitmix64` finalizer — the standard 64-bit avalanche mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The per-task chaos key: the instance content hash mixed with the task's
+/// solving parameters. Content-addressed like the cache, so duplicate tasks
+/// draw identical faults (required for report determinism) while distinct
+/// grid cells draw independently.
+pub fn task_key(task: &SolveTask) -> u64 {
+    let mut h = crate::cache::instance_hash(&task.instance);
+    h ^= splitmix64(task.k as u64);
+    h = h.rotate_left(17) ^ splitmix64(task.machines as u64);
+    h = h.rotate_left(17) ^ splitmix64(task.algo.name().len() as u64 ^ (task.algo as u64) << 8);
+    h.rotate_left(17) ^ splitmix64(task.exact_ref as u64)
+}
+
+/// A task's chaos handle: the armed plan plus this task's content key.
+/// Carried on [`TaskCtx`](crate::cancel::TaskCtx) so the stage boundary in
+/// `solve.rs` can consult the `deadline` site.
+#[derive(Clone, Debug)]
+pub struct TaskChaos {
+    /// The armed plan.
+    pub plan: Arc<FaultPlan>,
+    /// This task's content key ([`task_key`]).
+    pub key: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let plan = FaultPlan::new(42).with_rate(FaultSite::Panic, 0.5);
+        let a: Vec<bool> = (0..64).map(|k| plan.fires(FaultSite::Panic, k)).collect();
+        let b: Vec<bool> = (0..64).map(|k| plan.fires(FaultSite::Panic, k)).collect();
+        assert_eq!(a, b, "same plan, same keys, same decisions");
+        let other = FaultPlan::new(43).with_rate(FaultSite::Panic, 0.5);
+        let c: Vec<bool> = (0..64).map(|k| other.fires(FaultSite::Panic, k)).collect();
+        assert_ne!(a, c, "a different seed draws differently");
+        // Sites draw independently: panic firing says nothing about flaky.
+        let both = FaultPlan::new(42)
+            .with_rate(FaultSite::Panic, 0.5)
+            .with_rate(FaultSite::Flaky, 0.5);
+        let flaky: Vec<bool> = (0..64).map(|k| both.fires(FaultSite::Flaky, k)).collect();
+        assert_ne!(a, flaky);
+    }
+
+    #[test]
+    fn rates_zero_and_one_are_exact() {
+        let plan = FaultPlan::new(7)
+            .with_rate(FaultSite::Panic, 0.0)
+            .with_rate(FaultSite::ForcedDeadline, 1.0);
+        for k in 0..256 {
+            assert!(!plan.fires(FaultSite::Panic, k));
+            assert!(plan.fires(FaultSite::ForcedDeadline, k));
+        }
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let plan = FaultPlan::new(9).with_rate(FaultSite::Delay, 0.25);
+        let hits = (0..4096).filter(|&k| plan.fires(FaultSite::Delay, k)).count();
+        assert!((hits as f64 / 4096.0 - 0.25).abs() < 0.05, "got {hits}/4096");
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_sites() {
+        let plan =
+            FaultPlan::parse("panic:0.25, deadline:1,corrupt-ref:0.5,delay-ms:3", 5).unwrap();
+        assert_eq!(plan.seed(), 5);
+        assert_eq!(plan.delay(), Duration::from_millis(3));
+        assert!(plan.fires(FaultSite::ForcedDeadline, 0));
+        assert!(FaultPlan::parse("", 0).is_ok(), "empty spec is an empty plan");
+        assert!(FaultPlan::parse("nope:0.5", 0).unwrap_err().contains("unknown chaos site"));
+        assert!(FaultPlan::parse("panic:2", 0).unwrap_err().contains("[0, 1]"));
+        assert!(FaultPlan::parse("panic", 0).unwrap_err().contains("site:rate"));
+    }
+
+    #[test]
+    fn corruption_moves_values_past_any_tolerance() {
+        let plan = FaultPlan::new(1).with_rate(FaultSite::CorruptRef, 1.0);
+        let mut sol = RefSolution { schedule: pobp_core::Schedule::new(), value: 10.0 };
+        assert!(plan.corrupt_ref(3, &mut sol));
+        assert_eq!(sol.value, 21.0);
+    }
+}

@@ -7,7 +7,7 @@
 //! under `pobp sweep` and the `experiments --threads N` binary; see
 //! `docs/engine.md` for the full contract.
 //!
-//! Robustness is first-class:
+//! Robustness is first-class (`docs/robustness.md`):
 //!
 //! * every task runs under `catch_unwind`, so a panicking solver yields a
 //!   [`TaskResult::Panicked`] record instead of killing the sweep;
@@ -18,11 +18,23 @@
 //!   attempt accounting in each [`TaskReport`];
 //! * a content-addressed [`cache`] shares the expensive unbounded-reference
 //!   side (`OPT_∞`) across every `k` of a grid and deduplicates identical
-//!   tasks outright.
+//!   tasks outright;
+//! * every emitted output — fresh, cached, or fallback — passed the
+//!   [`cert`] trust boundary (schedule re-verified, values recomputed); a
+//!   mismatch is a structured [`TaskResult::CertFailed`], never a wrong row;
+//! * with [`EngineConfig::degrade`] on, tasks that exhaust retries or blow
+//!   their deadline fall back to the polynomial `LSA_CS`/`k = 0` algorithm
+//!   and report [`TaskResult::Degraded`] (still certified);
+//! * with the `chaos` cargo feature, a seeded [`chaos::FaultPlan`] injects
+//!   panics, delays, spurious cancellations, forced deadlines, and
+//!   cache-entry corruption at named sites, deterministically per task —
+//!   chaos runs replay byte-identically across thread counts. Without the
+//!   feature, none of the injection code exists in the binary.
 //!
 //! With the `obs` cargo feature the engine emits the `engine.*` counter
-//! families (tasks run/cached/panicked/timed-out/retried, queue depth,
-//! per-worker busy time); see `docs/observability.md`.
+//! families (tasks run/cached/panicked/timed-out/retried, certification
+//! verdicts, chaos injections, degradations, queue depth, per-worker busy
+//! time); see `docs/observability.md`.
 //!
 //! ## Quickstart
 //!
@@ -40,7 +52,10 @@
 //! }
 //! // The terminal kinds partition the batch.
 //! let s = batch.stats;
-//! assert_eq!(s.run + s.cached + s.panicked + s.timed_out + s.cancelled, s.tasks);
+//! assert_eq!(
+//!     s.run + s.cached + s.degraded + s.cert_failed + s.panicked + s.timed_out + s.cancelled,
+//!     s.tasks
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,13 +63,19 @@
 
 pub mod cache;
 pub mod cancel;
+pub mod cert;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod grid;
 pub mod pool;
 mod solve;
 pub mod task;
 
-pub use cache::{instance_hash, RefSolution, ResultCache};
+pub use cache::{instance_hash, CachedResult, RefSolution, ResultCache};
 pub use cancel::{CancelToken, StopReason, TaskCtx};
+pub use cert::{CertFailure, CertStage};
+#[cfg(feature = "chaos")]
+pub use chaos::{FaultPlan, FaultSite};
 pub use grid::GridSpec;
 pub use pool::{run_batch, BatchReport, Engine, EngineConfig, EngineStats};
-pub use task::{Algo, SolveOutput, SolveTask, TaskReport, TaskResult};
+pub use task::{Algo, DegradeCause, SolveOutput, SolveTask, TaskReport, TaskResult};

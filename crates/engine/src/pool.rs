@@ -7,6 +7,18 @@
 //! count and completion order. A watchdog thread cancels the token of any
 //! in-flight task whose wall-clock deadline has passed; the task wrapper
 //! notices at its next stage boundary (see [`crate::cancel`]).
+//!
+//! Two robustness layers sit between a solve and its report
+//! (`docs/robustness.md`):
+//!
+//! * **certification** — every emitted output (fresh, cached, or fallback)
+//!   passed the trust boundary of [`crate::cert`]; a mismatch becomes
+//!   [`TaskResult::CertFailed`], never a wrong row;
+//! * **graceful degradation** — with [`EngineConfig::degrade`] on, a task
+//!   that exhausts its retry budget or blows its deadline is retried once
+//!   with the polynomial `LSA_CS` (or the `k = 0` algorithm), unbounded and
+//!   chaos-free, and reports [`TaskResult::Degraded`] when that rescue
+//!   lands.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -16,13 +28,15 @@ use std::time::{Duration, Instant};
 
 use pobp_core::{obs_count, obs_event};
 
-use crate::cache::{instance_hash, ResultCache};
+use crate::cache::{instance_hash, CachedResult, ResultCache};
 use crate::cancel::{CancelToken, StopReason, TaskCtx};
-use crate::solve::solve_task;
-use crate::task::{SolveTask, TaskReport, TaskResult};
+use crate::cert;
+use crate::solve::{solve_task, SolveFailure};
+use crate::task::{Algo, DegradeCause, SolveTask, TaskReport, TaskResult};
 
 /// Engine configuration. `Default` is the deterministic sweep setup:
-/// hardware parallelism, no deadline, one retry, caching on.
+/// hardware parallelism, no deadline, one retry, caching on, no
+/// degradation.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker threads; `0` means `std::thread::available_parallelism()`.
@@ -39,6 +53,12 @@ pub struct EngineConfig {
     pub backoff: Duration,
     /// Whether the content-addressed result cache is consulted.
     pub use_cache: bool,
+    /// Whether the graceful-degradation ladder is armed: tasks that exhaust
+    /// retries or overrun their deadline fall back to the polynomial
+    /// algorithm (`docs/robustness.md`). Off by default — degradation
+    /// changes the failure taxonomy (`TimedOut`/`Panicked` become
+    /// `Degraded` when the rescue lands), so callers opt in.
+    pub degrade: bool,
 }
 
 impl Default for EngineConfig {
@@ -49,23 +69,30 @@ impl Default for EngineConfig {
             max_retries: 1,
             backoff: Duration::from_millis(5),
             use_cache: true,
+            degrade: false,
         }
     }
 }
 
-/// Batch-level accounting. The four terminal kinds plus `cached` partition
-/// the batch: `run + cached + panicked + timed_out + cancelled == tasks`.
+/// Batch-level accounting. The terminal kinds plus `cached` partition the
+/// batch: `run + cached + degraded + cert_failed + panicked + timed_out +
+/// cancelled == tasks`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Tasks in the batch.
     pub tasks: usize,
-    /// Tasks computed fresh to a successful result.
+    /// Tasks computed fresh to a successful, certified result.
     pub run: usize,
-    /// Tasks answered from the result cache without running.
+    /// Tasks answered from the result cache (re-certified on the hit).
     pub cached: usize,
-    /// Tasks whose every attempt panicked.
+    /// Tasks rescued by the polynomial fallback after their primary
+    /// algorithm failed.
+    pub degraded: usize,
+    /// Tasks whose result failed the certification trust boundary.
+    pub cert_failed: usize,
+    /// Tasks whose every attempt panicked (and no rescue landed).
     pub panicked: usize,
-    /// Tasks that overran their deadline.
+    /// Tasks that overran their deadline (and no rescue landed).
     pub timed_out: usize,
     /// Tasks cancelled with the batch.
     pub cancelled: usize,
@@ -90,6 +117,8 @@ pub struct BatchReport {
 struct StatsCell {
     run: AtomicUsize,
     cached: AtomicUsize,
+    degraded: AtomicUsize,
+    cert_failed: AtomicUsize,
     panicked: AtomicUsize,
     timed_out: AtomicUsize,
     cancelled: AtomicUsize,
@@ -103,6 +132,8 @@ impl StatsCell {
             tasks,
             run: self.run.load(Ordering::Relaxed),
             cached: self.cached.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            cert_failed: self.cert_failed.load(Ordering::Relaxed),
             panicked: self.panicked.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
@@ -119,12 +150,32 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: Arc<ResultCache>,
     batch: CancelToken,
+    #[cfg(feature = "chaos")]
+    chaos: Option<Arc<crate::chaos::FaultPlan>>,
 }
 
 impl Engine {
     /// An engine with the given configuration and an empty cache.
     pub fn new(cfg: EngineConfig) -> Self {
-        Engine { cfg, cache: Arc::new(ResultCache::new()), batch: CancelToken::new() }
+        Engine {
+            cfg,
+            cache: Arc::new(ResultCache::new()),
+            batch: CancelToken::new(),
+            #[cfg(feature = "chaos")]
+            chaos: None,
+        }
+    }
+
+    /// An engine with an armed fault plan: the named injection sites in the
+    /// pool, the task wrapper, and the cache fire deterministically per
+    /// task (see [`crate::chaos`]).
+    #[cfg(feature = "chaos")]
+    pub fn with_chaos(cfg: EngineConfig, plan: crate::chaos::FaultPlan) -> Self {
+        let mut e = Engine::new(cfg);
+        let plan = Arc::new(plan);
+        e.cache.set_chaos(Some(plan.clone()));
+        e.chaos = Some(plan);
+        e
     }
 
     /// The engine's configuration.
@@ -214,8 +265,9 @@ impl Engine {
         BatchReport { reports, stats: stats.snapshot(n) }
     }
 
-    /// Runs a single claimed task: cache check, attempt loop under
-    /// `catch_unwind`, retry with backoff, terminal accounting.
+    /// Runs a single claimed task: cache check (hits are re-certified),
+    /// attempt loop under `catch_unwind`, retry with backoff, the
+    /// degradation ladder, terminal accounting.
     fn run_one(
         &self,
         index: usize,
@@ -226,23 +278,57 @@ impl Engine {
         let cache = self.cfg.use_cache.then_some(&*self.cache);
         let inst = instance_hash(&task.instance);
         if let Some(c) = cache {
-            if let Some(out) = c.get_result(inst, task.k, task.machines, task.algo, task.exact_ref)
+            if let Some(hit) = c.get_result(inst, task.k, task.machines, task.algo, task.exact_ref)
             {
-                obs_count!("engine.tasks.cached");
-                stats.cached.fetch_add(1, Ordering::Relaxed);
-                return TaskReport {
-                    index,
-                    label: task.label.clone(),
-                    attempts: 0,
-                    result: TaskResult::Done(out),
+                // Trust boundary: a hit is re-certified against the
+                // schedule stored with it, never trusted. A poisoned entry
+                // surfaces as CertFailed — not as a wrong output row.
+                let result = match cert::certify_solve(
+                    &task.instance,
+                    &hit.schedule,
+                    hit.eff_k,
+                    task.machines,
+                    &hit.output,
+                ) {
+                    Ok(()) => {
+                        obs_count!("engine.tasks.cached");
+                        obs_count!("engine.cert.ok");
+                        stats.cached.fetch_add(1, Ordering::Relaxed);
+                        TaskResult::Done(hit.output)
+                    }
+                    Err(failure) => {
+                        obs_count!("engine.cert.failed");
+                        stats.cert_failed.fetch_add(1, Ordering::Relaxed);
+                        failure.into()
+                    }
                 };
+                return TaskReport { index, label: task.label.clone(), attempts: 0, result };
             }
         }
 
         let token = CancelToken::new();
+        #[cfg(feature = "chaos")]
+        let chaos = self.chaos.as_ref().map(|plan| crate::chaos::TaskChaos {
+            plan: plan.clone(),
+            key: crate::chaos::task_key(task),
+        });
+        #[cfg(feature = "chaos")]
+        if let Some(ch) = &chaos {
+            // The `cancel` site: spuriously cancel the task's own token
+            // before it starts; the wrapper notices at its first boundary.
+            if ch.plan.fires(crate::chaos::FaultSite::SpuriousCancel, ch.key) {
+                obs_count!("engine.chaos.cancel");
+                token.cancel();
+            }
+        }
         let deadline_at = self.cfg.deadline.map(|d| Instant::now() + d);
-        let ctx =
-            TaskCtx { cancel: token.clone(), batch: self.batch.clone(), deadline: deadline_at };
+        let ctx = TaskCtx {
+            cancel: token.clone(),
+            batch: self.batch.clone(),
+            deadline: deadline_at,
+            #[cfg(feature = "chaos")]
+            chaos,
+        };
         if let Some(at) = deadline_at {
             inflight.lock().unwrap().insert(index, (at, token));
         }
@@ -250,11 +336,27 @@ impl Engine {
         let mut attempts = 0u32;
         let result = loop {
             attempts += 1;
-            match catch_unwind(AssertUnwindSafe(|| solve_task(task, &ctx, cache))) {
-                Ok(Ok((out, ref_hit))) => {
+            let attempt = || {
+                #[cfg(feature = "chaos")]
+                if let Some(ch) = &ctx.chaos {
+                    // The `delay` site: stall the attempt (wall-clock only —
+                    // outputs are unaffected, but an armed real deadline may
+                    // now fire, which is the point).
+                    if ch.plan.fires(crate::chaos::FaultSite::Delay, ch.key) {
+                        obs_count!("engine.chaos.delay");
+                        std::thread::sleep(ch.plan.delay());
+                    }
+                    // The `panic`/`flaky` sites, inside catch_unwind.
+                    ch.plan.inject_panic(ch.key, attempts);
+                }
+                solve_task(task, &ctx, cache)
+            };
+            match catch_unwind(AssertUnwindSafe(attempt)) {
+                Ok(Ok(solved)) => {
                     obs_count!("engine.tasks.run");
+                    obs_count!("engine.cert.ok");
                     stats.run.fetch_add(1, Ordering::Relaxed);
-                    if ref_hit {
+                    if solved.ref_hit {
                         stats.ref_cache_hits.fetch_add(1, Ordering::Relaxed);
                     }
                     if let Some(c) = cache {
@@ -264,17 +366,31 @@ impl Engine {
                             task.machines,
                             task.algo,
                             task.exact_ref,
-                            out.clone(),
+                            CachedResult {
+                                output: solved.output.clone(),
+                                schedule: solved.schedule.clone(),
+                                eff_k: solved.eff_k,
+                            },
                         );
                     }
-                    break TaskResult::Done(out);
+                    break TaskResult::Done(solved.output);
                 }
-                Ok(Err(StopReason::DeadlineExceeded)) => {
+                Ok(Err(SolveFailure::Cert(failure))) => {
+                    obs_count!("engine.cert.failed");
+                    stats.cert_failed.fetch_add(1, Ordering::Relaxed);
+                    break failure.into();
+                }
+                Ok(Err(SolveFailure::Stopped(StopReason::DeadlineExceeded))) => {
+                    if let Some(rescued) =
+                        self.try_degrade(task, DegradeCause::DeadlineExceeded, stats)
+                    {
+                        break rescued;
+                    }
                     obs_count!("engine.tasks.timed_out");
                     stats.timed_out.fetch_add(1, Ordering::Relaxed);
                     break TaskResult::TimedOut;
                 }
-                Ok(Err(StopReason::BatchCancelled)) => {
+                Ok(Err(SolveFailure::Stopped(StopReason::BatchCancelled))) => {
                     obs_count!("engine.tasks.cancelled");
                     stats.cancelled.fetch_add(1, Ordering::Relaxed);
                     break TaskResult::Cancelled;
@@ -292,6 +408,11 @@ impl Engine {
                         std::thread::sleep(pause);
                         continue;
                     }
+                    if let Some(rescued) =
+                        self.try_degrade(task, DegradeCause::RetriesExhausted, stats)
+                    {
+                        break rescued;
+                    }
                     obs_count!("engine.tasks.panicked");
                     stats.panicked.fetch_add(1, Ordering::Relaxed);
                     break TaskResult::Panicked { message: panic_message(&*payload) };
@@ -302,6 +423,57 @@ impl Engine {
             inflight.lock().unwrap().remove(&index);
         }
         TaskReport { index, label: task.label.clone(), attempts, result }
+    }
+
+    /// The graceful-degradation ladder: rerun the task with the polynomial
+    /// fallback (`LSA_CS`, or the `k = 0` algorithm when that *is* the
+    /// task), greedy reference, no deadline, no cache, no chaos — but still
+    /// honoring the batch token — and certify the result like any other.
+    /// Returns `None` when degradation is off, the task is the test-only
+    /// panicking algorithm, or the fallback itself fails (the original
+    /// failure then stands).
+    fn try_degrade(
+        &self,
+        task: &SolveTask,
+        cause: DegradeCause,
+        stats: &StatsCell,
+    ) -> Option<TaskResult> {
+        if !self.cfg.degrade || task.algo == Algo::PanicForTest {
+            return None;
+        }
+        obs_count!("engine.degrade.attempted");
+        let fallback = if task.k == 0 || task.algo == Algo::K0 { Algo::K0 } else { Algo::LsaCs };
+        let fb_task = SolveTask {
+            instance: task.instance.clone(),
+            k: task.k,
+            machines: task.machines,
+            algo: fallback,
+            exact_ref: false,
+            label: task.label.clone(),
+        };
+        let ctx = TaskCtx {
+            cancel: CancelToken::new(),
+            batch: self.batch.clone(),
+            deadline: None,
+            #[cfg(feature = "chaos")]
+            chaos: None,
+        };
+        // The fallback runs cache-free: its output answers the *original*
+        // task's report, so caching it under the fallback key would let an
+        // unrelated duplicate of the fallback task pick up accounting
+        // differences, and caching under the original key would be a lie.
+        match catch_unwind(AssertUnwindSafe(|| solve_task(&fb_task, &ctx, None))) {
+            Ok(Ok(solved)) => {
+                obs_count!("engine.degrade.rescued");
+                obs_count!("engine.cert.ok");
+                stats.degraded.fetch_add(1, Ordering::Relaxed);
+                Some(TaskResult::Degraded { fallback, cause, output: solved.output })
+            }
+            _ => {
+                obs_count!("engine.degrade.failed");
+                None
+            }
+        }
     }
 }
 

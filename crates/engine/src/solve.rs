@@ -1,11 +1,16 @@
-//! The task wrapper: one `SolveTask` → one verified `SolveOutput`.
+//! The task wrapper: one `SolveTask` → one **certified** `SolveOutput`.
 //!
 //! Every task runs in two stages — the unbounded *reference* (the expensive,
 //! `k`-independent side, served from the cache's reference layer when
 //! possible) and the *bounded* algorithm itself — with a cooperative
-//! [`TaskCtx`] check at each stage boundary. Panics are **not** handled
-//! here: they unwind out to the pool's `catch_unwind` so the taxonomy
-//! (panic vs timeout vs cancel) stays in one place.
+//! [`TaskCtx`] check at each stage boundary. Before the output is released
+//! the engine's trust boundary re-checks it ([`crate::cert`]): the schedule
+//! re-verifies under `(eff_k, machines)`, the claimed statistics recompute,
+//! and the reference schedule's value matches the claimed `ref_value`. A
+//! mismatch is a [`SolveFailure::Cert`], which the pool turns into
+//! `TaskResult::CertFailed`. Panics are **not** handled here: they unwind
+//! out to the pool's `catch_unwind` so the taxonomy (panic vs timeout vs
+//! cancel vs cert) stays in one place.
 
 use std::sync::Arc;
 
@@ -17,7 +22,34 @@ use pobp_sched::{
 
 use crate::cache::{instance_hash, RefSolution, ResultCache};
 use crate::cancel::{StopReason, TaskCtx};
+use crate::cert::{self, CertFailure};
 use crate::task::{Algo, SolveOutput, SolveTask};
+
+/// Why a solve attempt produced no output: stopped at a stage boundary, or
+/// caught by the certification trust boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum SolveFailure {
+    /// Deadline or batch cancellation noticed at a stage boundary.
+    Stopped(StopReason),
+    /// The result did not survive certification.
+    Cert(CertFailure),
+}
+
+impl From<StopReason> for SolveFailure {
+    fn from(r: StopReason) -> Self {
+        SolveFailure::Stopped(r)
+    }
+}
+
+/// A certified solve: the output, the schedule behind it (kept so the pool
+/// can cache it for hit-time re-certification), the effective `k` it was
+/// verified against, and whether the reference came from the cache.
+pub(crate) struct Solved {
+    pub output: SolveOutput,
+    pub schedule: Arc<Schedule>,
+    pub eff_k: u32,
+    pub ref_hit: bool,
+}
 
 /// Computes the unbounded reference of `task`, consulting `cache`'s
 /// reference layer. The returned flag is `true` on a cache hit.
@@ -103,38 +135,50 @@ fn bounded_stage(
     }
 }
 
-/// Runs one task to completion. `Err` carries the stage-boundary stop
-/// reason; panics unwind to the caller (the pool's `catch_unwind`).
-///
-/// The returned flag is `true` when the reference came from the cache
-/// (pure accounting — the output itself is identical either way).
+/// Runs one task to completion and certifies the result. `Err` carries the
+/// stage-boundary stop reason or the certification failure; panics unwind
+/// to the caller (the pool's `catch_unwind`).
 pub(crate) fn solve_task(
     task: &SolveTask,
     ctx: &TaskCtx,
     cache: Option<&ResultCache>,
-) -> Result<(SolveOutput, bool), StopReason> {
+) -> Result<Solved, SolveFailure> {
     if let Some(stop) = ctx.should_stop() {
-        return Err(stop);
+        return Err(stop.into());
     }
     let ids: Vec<JobId> = task.instance.ids().collect();
     let (reference, ref_hit) = reference(task, &ids, cache);
     if let Some(stop) = ctx.should_stop() {
-        return Err(stop);
+        return Err(stop.into());
+    }
+    #[cfg(feature = "chaos")]
+    if let Some(ch) = &ctx.chaos {
+        // The `deadline` site: pretend the wall clock ran out exactly at
+        // the reference→bounded stage boundary.
+        if ch.plan.fires(crate::chaos::FaultSite::ForcedDeadline, ch.key) {
+            obs_count!("engine.chaos.deadline");
+            return Err(StopReason::DeadlineExceeded.into());
+        }
     }
     let (schedule, eff_k, branch_values) =
         obs_time!("engine.solve.time.bounded", bounded_stage(task, &ids, &reference.schedule));
-    schedule
-        .verify(&task.instance, Some(eff_k))
-        .expect("engine produced an infeasible schedule");
     let stats = schedule_stats(&task.instance, &schedule);
-    Ok((
-        SolveOutput {
-            alg_value: stats.value,
-            ref_value: reference.value,
-            scheduled: stats.scheduled,
-            preemptions: stats.total_preemptions,
-            branch_values,
-        },
-        ref_hit,
-    ))
+    let output = SolveOutput {
+        alg_value: stats.value,
+        ref_value: reference.value,
+        scheduled: stats.scheduled,
+        preemptions: stats.total_preemptions,
+        branch_values,
+    };
+    // The trust boundary: nothing leaves the wrapper uncertified. The
+    // reference is certified here (its schedule is in hand); the bounded
+    // side re-checks through the same path a cache hit takes.
+    obs_time!("engine.cert.time", {
+        cert::certify_reference(&task.instance, &reference.schedule, reference.value)
+            .and_then(|()| {
+                cert::certify_solve(&task.instance, &schedule, eff_k, task.machines, &output)
+            })
+            .map_err(SolveFailure::Cert)
+    })?;
+    Ok(Solved { output, schedule: Arc::new(schedule), eff_k, ref_hit })
 }

@@ -4,12 +4,17 @@
 //! A [`SolveTask`] names an instance and a solving configuration; the engine
 //! turns each task into exactly one [`TaskReport`] (in input order — see
 //! `docs/engine.md` for the determinism contract). The failure taxonomy is
-//! closed: a task either produced a verified schedule ([`TaskResult::Done`]),
-//! panicked on every attempt ([`TaskResult::Panicked`]), overran its
-//! wall-clock deadline ([`TaskResult::TimedOut`]), or was cancelled with the
-//! batch ([`TaskResult::Cancelled`]).
+//! closed: a task either produced a certified schedule ([`TaskResult::Done`]),
+//! was rescued by the polynomial fallback after its primary algorithm failed
+//! ([`TaskResult::Degraded`], still certified), failed the certification
+//! trust boundary ([`TaskResult::CertFailed`]), panicked on every attempt
+//! ([`TaskResult::Panicked`]), overran its wall-clock deadline
+//! ([`TaskResult::TimedOut`]), or was cancelled with the batch
+//! ([`TaskResult::Cancelled`]). See `docs/robustness.md`.
 
 use pobp_core::JobSet;
+
+use crate::cert::{CertFailure, CertStage};
 
 /// Which algorithm of the workspace a task runs. All variants produce a
 /// feasible `k`-bounded schedule of (a subset of) the instance.
@@ -114,11 +119,53 @@ impl SolveOutput {
     }
 }
 
+/// Why the engine fell back to the polynomial algorithm for a task
+/// (the graceful-degradation ladder — `docs/robustness.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// The primary algorithm overran its wall-clock deadline.
+    DeadlineExceeded,
+    /// The primary algorithm panicked on every attempt.
+    RetriesExhausted,
+}
+
+impl DegradeCause {
+    /// The stable lowercase name used by CLIs and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeCause::DeadlineExceeded => "deadline",
+            DegradeCause::RetriesExhausted => "retries",
+        }
+    }
+}
+
 /// Terminal state of one task. See the module docs for the taxonomy.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TaskResult {
-    /// The solve completed and its schedule passed verification.
+    /// The solve completed and its schedule passed certification
+    /// ([`crate::cert`]).
     Done(SolveOutput),
+    /// The primary algorithm failed (deadline or retry exhaustion) and the
+    /// polynomial fallback rescued the task. The output is certified like
+    /// any `Done` result, but measures `fallback`, not the task's
+    /// requested algorithm.
+    Degraded {
+        /// The polynomial algorithm that produced the output.
+        fallback: Algo,
+        /// Why the primary algorithm was abandoned.
+        cause: DegradeCause,
+        /// The fallback's certified output.
+        output: SolveOutput,
+    },
+    /// The result failed the certification trust boundary: its schedule or
+    /// claimed values did not survive independent re-checking. No output is
+    /// released.
+    CertFailed {
+        /// The certification check that caught it.
+        stage: CertStage,
+        /// What mismatched (claimed vs recomputed quantities).
+        reason: String,
+    },
     /// Every attempt panicked; the payload of the last panic is captured.
     Panicked {
         /// The panic message (`&str`/`String` payloads; otherwise a
@@ -136,10 +183,27 @@ impl TaskResult {
     pub fn status(&self) -> &'static str {
         match self {
             TaskResult::Done(_) => "ok",
+            TaskResult::Degraded { .. } => "degraded",
+            TaskResult::CertFailed { .. } => "cert_failed",
             TaskResult::Panicked { .. } => "panicked",
             TaskResult::TimedOut => "timed_out",
             TaskResult::Cancelled => "cancelled",
         }
+    }
+
+    /// The certified output of a successful task — `Done`'s output or a
+    /// `Degraded` task's fallback output.
+    pub fn output(&self) -> Option<&SolveOutput> {
+        match self {
+            TaskResult::Done(out) | TaskResult::Degraded { output: out, .. } => Some(out),
+            _ => None,
+        }
+    }
+}
+
+impl From<CertFailure> for TaskResult {
+    fn from(f: CertFailure) -> Self {
+        TaskResult::CertFailed { stage: f.stage, reason: f.reason }
     }
 }
 

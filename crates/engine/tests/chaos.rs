@@ -1,0 +1,179 @@
+//! Integration tests for the deterministic fault-injection layer
+//! (`--features chaos`): every injected fault must surface as a structured
+//! report — never as a wrong output row — and the certification and
+//! degradation layers must respond exactly as `docs/robustness.md` claims.
+#![cfg(feature = "chaos")]
+
+use std::time::Duration;
+
+use pobp_engine::{
+    Algo, CertStage, DegradeCause, Engine, EngineConfig, FaultPlan, FaultSite, GridSpec,
+    TaskResult,
+};
+
+fn grid() -> GridSpec {
+    GridSpec::new(vec![6, 10], vec![0, 1, 2], vec![0, 1], Algo::Reduction)
+}
+
+fn sequential() -> EngineConfig {
+    EngineConfig { threads: 1, max_retries: 0, ..EngineConfig::default() }
+}
+
+#[test]
+fn corrupted_reference_cache_is_cert_failed_never_a_wrong_row() {
+    // Corrupt every reference-layer put: certification must catch the
+    // poisoned reference on every task that consumes it, and no Done row
+    // may carry the corrupted value.
+    let plan = FaultPlan::new(11).with_rate(FaultSite::CorruptRef, 1.0);
+    let engine = Engine::with_chaos(EngineConfig { threads: 4, ..EngineConfig::default() }, plan);
+    let tasks = grid().tasks();
+    let batch = engine.run_batch(&tasks);
+    for r in &batch.reports {
+        let TaskResult::CertFailed { stage, reason } = &r.result else {
+            panic!("task {} leaked past certification: {:?}", r.index, r.result);
+        };
+        assert_eq!(*stage, CertStage::Reference, "task {}: {reason}", r.index);
+    }
+    assert_eq!(batch.stats.cert_failed, tasks.len());
+    assert_eq!(batch.stats.run, 0);
+}
+
+#[test]
+fn corrupted_result_cache_poisons_the_duplicate_not_the_original() {
+    // corrupt-result fires at put time, so the computing task still reports
+    // its honest (pre-put) output; the poisoned entry is caught when a
+    // duplicate task hits the cache.
+    let plan = FaultPlan::new(3).with_rate(FaultSite::CorruptResult, 1.0);
+    let engine = Engine::with_chaos(sequential(), plan);
+    let task = grid().tasks().remove(0);
+    let first = engine.run_batch(std::slice::from_ref(&task));
+    assert!(matches!(first.reports[0].result, TaskResult::Done(_)));
+    let second = engine.run_batch(std::slice::from_ref(&task));
+    let TaskResult::CertFailed { stage, .. } = &second.reports[0].result else {
+        panic!("poisoned hit leaked: {:?}", second.reports[0].result);
+    };
+    assert_eq!(*stage, CertStage::Value);
+}
+
+#[test]
+fn forced_deadline_degrades_to_a_certified_polynomial_result() {
+    let plan = FaultPlan::new(5).with_rate(FaultSite::ForcedDeadline, 1.0);
+    let cfg = EngineConfig { threads: 2, degrade: true, ..EngineConfig::default() };
+    let engine = Engine::with_chaos(cfg, plan);
+    let tasks = grid().tasks();
+    let batch = engine.run_batch(&tasks);
+    for (r, t) in batch.reports.iter().zip(&tasks) {
+        let TaskResult::Degraded { fallback, cause, output } = &r.result else {
+            panic!("task {} not rescued: {:?}", r.index, r.result);
+        };
+        assert_eq!(*cause, DegradeCause::DeadlineExceeded);
+        assert_eq!(*fallback, if t.k == 0 { Algo::K0 } else { Algo::LsaCs });
+        assert!(output.alg_value.is_finite());
+    }
+    assert_eq!(batch.stats.degraded, tasks.len());
+    assert_eq!(batch.stats.timed_out, 0);
+    assert_eq!(batch.stats.cert_failed, 0);
+}
+
+#[test]
+fn forced_deadline_without_degradation_is_a_timeout() {
+    let plan = FaultPlan::new(5).with_rate(FaultSite::ForcedDeadline, 1.0);
+    let engine = Engine::with_chaos(sequential(), plan);
+    let batch = engine.run_batch(&grid().tasks());
+    assert!(batch.reports.iter().all(|r| r.result == TaskResult::TimedOut));
+}
+
+#[test]
+fn flaky_site_is_rescued_by_retry() {
+    let plan = FaultPlan::new(17).with_rate(FaultSite::Flaky, 1.0);
+    let cfg = EngineConfig {
+        threads: 1,
+        max_retries: 1,
+        backoff: Duration::from_millis(1),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::with_chaos(cfg, plan);
+    let tasks = grid().tasks();
+    let batch = engine.run_batch(&tasks);
+    for r in &batch.reports {
+        assert!(matches!(r.result, TaskResult::Done(_)), "task {}: {:?}", r.index, r.result);
+        assert_eq!(r.attempts, 2, "first attempt panicked, second landed");
+    }
+    assert_eq!(batch.stats.retried, tasks.len());
+}
+
+#[test]
+fn panic_site_exhausts_retries_then_the_ladder_decides() {
+    let mk_plan = || FaultPlan::new(23).with_rate(FaultSite::Panic, 1.0);
+    let cfg = |degrade| EngineConfig {
+        threads: 1,
+        max_retries: 1,
+        backoff: Duration::from_millis(1),
+        degrade,
+        ..EngineConfig::default()
+    };
+    let task = grid().tasks().remove(3);
+
+    let hard = Engine::with_chaos(cfg(false), mk_plan());
+    let batch = hard.run_batch(std::slice::from_ref(&task));
+    let TaskResult::Panicked { message } = &batch.reports[0].result else {
+        panic!("{:?}", batch.reports[0].result)
+    };
+    assert!(message.contains("chaos: injected panic"), "got: {message}");
+    assert_eq!(batch.reports[0].attempts, 2);
+
+    let soft = Engine::with_chaos(cfg(true), mk_plan());
+    let batch = soft.run_batch(std::slice::from_ref(&task));
+    let TaskResult::Degraded { cause, .. } = &batch.reports[0].result else {
+        panic!("{:?}", batch.reports[0].result)
+    };
+    assert_eq!(*cause, DegradeCause::RetriesExhausted);
+}
+
+#[test]
+fn spurious_cancel_surfaces_as_a_deadline_stop() {
+    let plan = FaultPlan::new(29).with_rate(FaultSite::SpuriousCancel, 1.0);
+    let engine = Engine::with_chaos(sequential(), plan);
+    let batch = engine.run_batch(&grid().tasks());
+    assert!(batch.reports.iter().all(|r| r.result == TaskResult::TimedOut));
+
+    let plan = FaultPlan::new(29).with_rate(FaultSite::SpuriousCancel, 1.0);
+    let rescue = Engine::with_chaos(
+        EngineConfig { degrade: true, ..sequential() },
+        plan,
+    );
+    let batch = rescue.run_batch(&grid().tasks());
+    assert!(batch
+        .reports
+        .iter()
+        .all(|r| matches!(r.result, TaskResult::Degraded { cause: DegradeCause::DeadlineExceeded, .. })));
+}
+
+#[test]
+fn partial_rate_plans_replay_exactly_across_runs() {
+    // The engine-level determinism claim behind `--chaos-seed`: the same
+    // plan over the same tasks yields byte-identical reports, run to run.
+    let mk = || {
+        let plan = FaultPlan::new(1234)
+            .with_rate(FaultSite::Panic, 0.3)
+            .with_rate(FaultSite::Flaky, 0.3)
+            .with_rate(FaultSite::ForcedDeadline, 0.3)
+            .with_rate(FaultSite::CorruptRef, 0.3);
+        let cfg = EngineConfig {
+            threads: 1,
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+            degrade: true,
+            ..EngineConfig::default()
+        };
+        Engine::with_chaos(cfg, plan)
+    };
+    let a = mk().run_batch(&grid().tasks());
+    let b = mk().run_batch(&grid().tasks());
+    assert_eq!(format!("{:#?}", a.reports), format!("{:#?}", b.reports));
+    // The seed at rate 0.3 over this grid hits a mix of outcomes — the
+    // test is vacuous if everything lands in one bucket.
+    let statuses: std::collections::BTreeSet<&str> =
+        a.reports.iter().map(|r| r.result.status()).collect();
+    assert!(statuses.len() >= 2, "want a mixed batch, got {statuses:?}");
+}

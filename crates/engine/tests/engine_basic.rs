@@ -5,7 +5,8 @@
 use std::time::Duration;
 
 use pobp_engine::{
-    run_batch, Algo, Engine, EngineConfig, GridSpec, SolveTask, TaskResult,
+    instance_hash, run_batch, Algo, CertStage, DegradeCause, Engine, EngineConfig, GridSpec,
+    SolveTask, TaskResult,
 };
 
 /// One worker thread and no retry: the fully sequential reference setup.
@@ -31,7 +32,10 @@ fn batch_solves_a_grid_in_input_order() {
         assert!(out.alg_value <= out.ref_value + 1e-9, "k-bounded beats its own reference");
     }
     let s = batch.stats;
-    assert_eq!(s.run + s.cached + s.panicked + s.timed_out + s.cancelled, s.tasks);
+    assert_eq!(
+        s.run + s.cached + s.degraded + s.cert_failed + s.panicked + s.timed_out + s.cancelled,
+        s.tasks
+    );
     assert_eq!(s.tasks, tasks.len());
 }
 
@@ -186,6 +190,72 @@ fn multi_machine_tasks_verify_and_dominate_single() {
     assert!(values[1] >= values[0] - 1e-9, "more machines never lose value");
 }
 
+#[test]
+fn degradation_rescues_deadline_overruns_with_the_polynomial_fallback() {
+    let tasks = grid_tasks();
+    let cfg = EngineConfig {
+        threads: 2,
+        deadline: Some(Duration::ZERO),
+        degrade: true,
+        ..EngineConfig::default()
+    };
+    let batch = run_batch(&tasks, cfg);
+    for (r, t) in batch.reports.iter().zip(&tasks) {
+        let TaskResult::Degraded { fallback, cause, output } = &r.result else {
+            panic!("task {} not degraded: {:?}", r.index, r.result);
+        };
+        assert_eq!(*cause, DegradeCause::DeadlineExceeded);
+        let expected = if t.k == 0 { Algo::K0 } else { Algo::LsaCs };
+        assert_eq!(*fallback, expected, "task {}", r.index);
+        // The fallback output passed certification like any Done result.
+        assert!(output.alg_value.is_finite());
+        assert!(output.scheduled <= t.instance.len());
+        assert_eq!(r.result.output().unwrap(), output);
+    }
+    assert_eq!(batch.stats.degraded, tasks.len());
+    assert_eq!(batch.stats.timed_out, 0);
+}
+
+#[test]
+fn degradation_skips_the_test_only_panic_algo() {
+    // PanicForTest has no meaningful fallback; the original failure stands
+    // even with degradation armed.
+    let task = SolveTask::new(grid_tasks()[0].instance.clone(), 1, Algo::PanicForTest);
+    let cfg = EngineConfig { degrade: true, ..sequential() };
+    let batch = run_batch(&[task], cfg);
+    assert!(matches!(batch.reports[0].result, TaskResult::Panicked { .. }));
+    assert_eq!(batch.stats.degraded, 0);
+}
+
+#[test]
+fn tampered_cache_entry_fails_certification_instead_of_leaking() {
+    // The trust boundary in action without the chaos feature: poison a
+    // result-cache entry by hand and check the engine refuses to serve it.
+    let task = grid_tasks()[0].clone();
+    let engine = Engine::new(sequential());
+    let first = engine.run_batch(std::slice::from_ref(&task));
+    let TaskResult::Done(honest) = &first.reports[0].result else { panic!() };
+
+    let inst = instance_hash(&task.instance);
+    let mut entry = engine
+        .cache()
+        .get_result(inst, task.k, task.machines, task.algo, task.exact_ref)
+        .expect("first run populated the result layer");
+    entry.output.alg_value = honest.alg_value * 2.0 + 1.0;
+    engine
+        .cache()
+        .put_result(inst, task.k, task.machines, task.algo, task.exact_ref, entry);
+
+    let second = engine.run_batch(std::slice::from_ref(&task));
+    let TaskResult::CertFailed { stage, reason } = &second.reports[0].result else {
+        panic!("poisoned hit leaked: {:?}", second.reports[0].result);
+    };
+    assert_eq!(*stage, CertStage::Value);
+    assert!(reason.contains("value"), "got: {reason}");
+    assert_eq!(second.stats.cert_failed, 1);
+    assert_eq!(second.stats.cached, 0);
+}
+
 /// The obs acceptance criterion: with the feature on, the engine's terminal
 /// counters sum to the grid size.
 #[cfg(feature = "obs")]
@@ -211,6 +281,12 @@ fn obs_counters_partition_the_batch() {
         + snap.counter("engine.tasks.timed_out")
         + snap.counter("engine.tasks.cancelled");
     assert_eq!(sum, total);
+    // Every emitted output was certified exactly once.
+    assert_eq!(
+        snap.counter("engine.cert.ok"),
+        snap.counter("engine.tasks.run") + snap.counter("engine.tasks.cached")
+    );
+    assert_eq!(snap.counter("engine.cert.failed"), 0);
     assert_eq!(snap.counter("engine.tasks.panicked"), 1);
     assert_eq!(snap.counter("engine.tasks.retried"), 1);
     assert!(snap.events.contains_key("engine.queue.depth"));

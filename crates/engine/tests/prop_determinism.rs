@@ -67,7 +67,8 @@ proptest! {
         // Terminal kinds partition the batch on both sides.
         for s in [seq.stats, par.stats] {
             prop_assert_eq!(
-                s.run + s.cached + s.panicked + s.timed_out + s.cancelled,
+                s.run + s.cached + s.degraded + s.cert_failed + s.panicked + s.timed_out
+                    + s.cancelled,
                 s.tasks
             );
             prop_assert_eq!(s.panicked, 1);

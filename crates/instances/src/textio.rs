@@ -25,6 +25,10 @@ pub fn write_jobs(jobs: &JobSet) -> String {
 /// # Errors
 /// Returns a message naming the offending line on malformed input or on
 /// jobs violating the model constraints (`p ≥ 1`, `val > 0`, `p ≤ d − r`).
+/// Derived time quantities are computed with checked arithmetic in
+/// `Job::try_new` — inputs where `deadline − release` or
+/// `release + length` would overflow `i64` are rejected with an error
+/// naming the line and the offending expression, never wrapped.
 pub fn parse_jobs(text: &str) -> Result<JobSet, String> {
     let mut jobs = JobSet::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -110,6 +114,20 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_jobs_are_rejected_with_line_and_field() {
+        // deadline − release overflows i64.
+        let err = parse_jobs(&format!("0 5 2 1\n-2 {} 1 1\n", i64::MAX)).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("deadline - release"), "{err}");
+        // release + length overflows i64.
+        let err = parse_jobs(&format!("{} {} {} 1\n", i64::MAX - 1, i64::MAX, i64::MAX)).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("overflows"), "{err}");
+        // Extreme but representable values still parse.
+        assert!(parse_jobs(&format!("0 {} 7 1\n", i64::MAX)).is_ok());
+    }
+
+    #[test]
     fn random_workload_round_trips() {
         let jobs = crate::RandomWorkload::standard(100).generate(5);
         let back = parse_jobs(&write_jobs(&jobs)).unwrap();
@@ -140,9 +158,10 @@ pub fn write_schedule(schedule: &Schedule) -> String {
 /// Parses the [`write_schedule`] format back into a [`Schedule`].
 ///
 /// # Errors
-/// Returns a message naming the offending line on malformed input. The
-/// result is *not* validated against a job set — call
-/// [`Schedule::verify`] with the matching jobs afterwards.
+/// Returns a message naming the offending line on malformed input,
+/// including segments whose `end − start` length or per-job length total
+/// would overflow `i64`. The result is *not* validated against a job set —
+/// call [`Schedule::verify`] with the matching jobs afterwards.
 pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
     let mut schedule = Schedule::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -162,6 +181,11 @@ pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
             .parse()
             .map_err(|e| format!("line {}: bad machine: {e}", lineno + 1))?;
         let mut segs = Vec::new();
+        // Checked running total: segment lengths are summed by
+        // `SegmentSet::total_len` and compared against `p_j` downstream, so
+        // an input whose lengths wrap i64 must be rejected here, not folded
+        // into a plausible-looking sum.
+        let mut total: i64 = 0;
         for f in fields {
             let (a, b) = f
                 .split_once(':')
@@ -175,6 +199,18 @@ pub fn parse_schedule(text: &str) -> Result<Schedule, String> {
             if end <= start {
                 return Err(format!("line {}: empty or reversed segment {start}:{end}", lineno + 1));
             }
+            let len = end.checked_sub(start).ok_or_else(|| {
+                format!(
+                    "line {}: segment {start}:{end} end - start overflows i64",
+                    lineno + 1
+                )
+            })?;
+            total = total.checked_add(len).ok_or_else(|| {
+                format!(
+                    "line {}: total scheduled length of job {job} overflows i64",
+                    lineno + 1
+                )
+            })?;
             segs.push(Interval::new(start, end));
         }
         if segs.is_empty() {
@@ -216,6 +252,22 @@ mod schedule_io_tests {
         assert!(parse_schedule("0 0 7:5\n").unwrap_err().contains("reversed"));
         assert!(parse_schedule("0 0\n").unwrap_err().contains("no segments"));
         assert!(parse_schedule("x 0 0:1\n").unwrap_err().contains("job index"));
+    }
+
+    #[test]
+    fn schedule_overflowing_segments_are_rejected() {
+        // end − start overflows i64 for a single huge segment.
+        let line = format!("0 0 {}:{}\n", i64::MIN + 1, i64::MAX);
+        let err = parse_schedule(&line).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("overflows"), "{err}");
+        // Two half-range segments whose lengths sum past i64::MAX.
+        let half = i64::MAX / 2 + 2;
+        let line = format!("0 0 {}:0 1:{}\n", -half, half);
+        let err = parse_schedule(&line).unwrap_err();
+        assert!(err.contains("total scheduled length"), "{err}");
+        // A large representable segment still parses.
+        assert!(parse_schedule(&format!("0 0 0:{}\n", i64::MAX)).is_ok());
     }
 
     #[test]

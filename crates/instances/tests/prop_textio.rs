@@ -1,0 +1,112 @@
+//! Property tests for the plain-text I/O layer: the parsers must be total
+//! (an error, never a panic, on arbitrary byte soup) and the writers must
+//! round-trip exactly through them.
+
+use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet};
+use pobp_instances::{parse_jobs, parse_schedule, write_jobs, write_schedule};
+use proptest::prelude::*;
+
+/// Arbitrary (release, deadline, length) triples that form a valid job,
+/// including extreme-but-representable times.
+fn arb_job() -> impl Strategy<Value = (i64, i64, i64, f64)> {
+    (-1_000_000i64..1_000_000, 1i64..10_000, 1i64..1_000, 1u32..1_000_000).prop_map(
+        |(release, slack, length, value)| {
+            // deadline ≥ release + length always holds by construction.
+            (release, release + length + slack, length, value as f64)
+        },
+    )
+}
+
+fn arb_jobset() -> impl Strategy<Value = JobSet> {
+    proptest::collection::vec(arb_job(), 0..12).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(r, d, p, v)| pobp_core::Job::new(r, d, p, v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Totality: `parse_jobs` returns `Ok` or `Err` on any byte soup —
+    /// it never panics, wraps, or overflows, whatever the bytes decode to.
+    #[test]
+    fn parse_jobs_never_panics_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_jobs(&text);
+    }
+
+    #[test]
+    fn parse_schedule_never_panics_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_schedule(&text);
+    }
+
+    /// Adversarial numeric soup: lines built from numeric-ish tokens hit
+    /// the checked-arithmetic paths far more often than raw bytes do.
+    #[test]
+    fn parse_jobs_never_panics_on_numeric_soup(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(
+                (0u8..6).prop_map(|sel| match sel {
+                    0 => i64::MAX.to_string(),
+                    1 => i64::MIN.to_string(),
+                    2 => "-1".to_string(),
+                    3 => "0".to_string(),
+                    4 => "9223372036854775808".to_string(), // i64::MAX + 1
+                    _ => "1e308".to_string(),
+                }),
+                0..6,
+            ),
+            0..8,
+        ),
+    ) {
+        let text: String =
+            rows.iter().map(|r| r.join(" ") + "\n").collect();
+        let _ = parse_jobs(&text);
+        let _ = parse_schedule(&text);
+    }
+
+    /// Round trip: writing a job set and parsing it back is the identity
+    /// (integer-valued f64 values survive the decimal rendering exactly).
+    #[test]
+    fn write_parse_jobs_round_trips(jobs in arb_jobset()) {
+        let back = parse_jobs(&write_jobs(&jobs)).unwrap();
+        prop_assert_eq!(jobs, back);
+    }
+
+    /// Round trip for schedules over arbitrary disjoint segment sets.
+    #[test]
+    fn write_parse_schedule_round_trips(
+        rows in proptest::collection::vec(
+            (0usize..50, 0usize..4, proptest::collection::vec((0i64..1_000, 1i64..40), 1..5)),
+            0..8,
+        ),
+    ) {
+        let mut schedule = Schedule::new();
+        let mut used = std::collections::HashSet::new();
+        for (job, machine, segs) in rows {
+            if !used.insert(job) {
+                continue; // one assignment per job id
+            }
+            // Make the segments disjoint by laying them end to end.
+            let mut at = 0i64;
+            let ivs: Vec<Interval> = segs
+                .iter()
+                .map(|&(gap, len)| {
+                    let start = at + gap;
+                    at = start + len;
+                    Interval::new(start, at)
+                })
+                .collect();
+            schedule.assign(JobId(job), machine, SegmentSet::from_intervals(ivs));
+        }
+        let back = parse_schedule(&write_schedule(&schedule)).unwrap();
+        prop_assert_eq!(schedule, back);
+    }
+}

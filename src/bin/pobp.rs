@@ -28,10 +28,10 @@ fn main() {
         Some("replay") => cmd_replay(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
-            print!("{}", USAGE);
+            print!("{}", usage());
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
     }
     .and_then(|()| emit_obs_report(&args))
     .map_or_else(
@@ -71,7 +71,7 @@ USAGE:
   pobp replay --plan FILE --delta D                                 (instance on stdin)
   pobp sweep [--n LIST] [--k LIST] [--seeds S] [--alg A] [--threads N]
              [--deadline-ms MS] [--machines M] [--exact-ref] [--no-cache]
-             [--retries R]                       (grid sweep, JSON lines on stdout)
+             [--retries R] [--degrade]           (grid sweep, JSON lines on stdout)
 
 Any command also accepts --obs (print the JSON counter report to stderr) or
 --obs-out FILE (write it to FILE). Counters require building with
@@ -82,8 +82,23 @@ sweep runs the (n, k, seed) grid through the parallel batch engine
 order regardless of --threads; the batch summary goes to stderr. LIST
 flags take comma-separated values (e.g. --n 20,40 --k 0,1,2); --seeds S
 sweeps seeds 0..S. --alg is one of reduction|combined|lsa|k0 (plus the
-test-only `panic`, which exercises panic isolation).
+test-only `panic`, which exercises panic isolation). --degrade arms the
+graceful-degradation ladder (docs/robustness.md): tasks that exhaust
+retries or overrun --deadline-ms fall back to the polynomial algorithm and
+report status \"degraded\" instead of failing.
 ";
+
+/// The full usage text; chaos-build binaries append the `--chaos` section.
+fn usage() -> String {
+    #[cfg(feature = "chaos")]
+    {
+        format!("{USAGE}{}", pobp::engine::chaos::CLI_USAGE)
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        USAGE.to_string()
+    }
+}
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let kind = flag(args, "--kind").ok_or("gen needs --kind")?;
@@ -311,6 +326,17 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if machines == 0 {
         return Err("--machines must be at least 1".into());
     }
+    #[cfg(not(feature = "chaos"))]
+    if flag(args, "--chaos").is_some() || flag(args, "--chaos-seed").is_some() {
+        return Err("--chaos/--chaos-seed need a binary built with --features chaos".into());
+    }
+    #[cfg(feature = "chaos")]
+    let chaos_plan = {
+        let chaos_seed: u64 = parse_num(args, "--chaos-seed", 0u64)?;
+        flag(args, "--chaos")
+            .map(|spec| FaultPlan::parse(&spec, chaos_seed))
+            .transpose()?
+    };
 
     let grid = GridSpec {
         ns: ns.clone(),
@@ -328,8 +354,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         max_retries: retries,
         use_cache: !has_flag(args, "--no-cache"),
+        degrade: has_flag(args, "--degrade"),
         ..EngineConfig::default()
     };
+    #[cfg(feature = "chaos")]
+    let batch = match chaos_plan {
+        Some(plan) => Engine::with_chaos(cfg, plan).run_batch(&grid.tasks()),
+        None => pobp::engine::run_batch(&grid.tasks(), cfg),
+    };
+    #[cfg(not(feature = "chaos"))]
     let batch = pobp::engine::run_batch(&grid.tasks(), cfg);
 
     // Rebuild the grid coordinates in task order (ns × seeds × ks — the
@@ -351,14 +384,21 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             report.attempts,
         );
         match &report.result {
-            TaskResult::Done(out) => {
+            TaskResult::Done(out) => push_output_fields(&mut line, out),
+            TaskResult::Degraded { fallback, cause, output } => {
                 line.push_str(&format!(
-                    ",\"value\":{},\"ref_value\":{},\"scheduled\":{},\"preemptions\":{}",
-                    out.alg_value, out.ref_value, out.scheduled, out.preemptions,
+                    ",\"fallback\":\"{}\",\"cause\":\"{}\"",
+                    fallback.name(),
+                    cause.name(),
                 ));
-                if let Some(p) = out.price() {
-                    line.push_str(&format!(",\"price\":{p}"));
-                }
+                push_output_fields(&mut line, output);
+            }
+            TaskResult::CertFailed { stage, reason } => {
+                line.push_str(&format!(
+                    ",\"stage\":\"{}\",\"reason\":\"{}\"",
+                    stage.name(),
+                    json_escape(reason),
+                ));
             }
             TaskResult::Panicked { message } => {
                 line.push_str(&format!(",\"message\":\"{}\"", json_escape(message)));
@@ -370,11 +410,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     let s = batch.stats;
     eprintln!(
-        "sweep: {} tasks ({} run, {} cached, {} panicked, {} timed out, {} cancelled, \
-         {} retries, {} ref-cache hits) on {} threads",
+        "sweep: {} tasks ({} run, {} cached, {} degraded, {} cert-failed, {} panicked, \
+         {} timed out, {} cancelled, {} retries, {} ref-cache hits) on {} threads",
         s.tasks,
         s.run,
         s.cached,
+        s.degraded,
+        s.cert_failed,
         s.panicked,
         s.timed_out,
         s.cancelled,
@@ -383,6 +425,17 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         if threads == 0 { "auto".to_string() } else { threads.to_string() },
     );
     Ok(())
+}
+
+/// Appends the certified output fields shared by `ok` and `degraded` rows.
+fn push_output_fields(line: &mut String, out: &SolveOutput) {
+    line.push_str(&format!(
+        ",\"value\":{},\"ref_value\":{},\"scheduled\":{},\"preemptions\":{}",
+        out.alg_value, out.ref_value, out.scheduled, out.preemptions,
+    ));
+    if let Some(p) = out.price() {
+        line.push_str(&format!(",\"price\":{p}"));
+    }
 }
 
 /// Minimal JSON string escaping for panic messages.

@@ -20,7 +20,9 @@
 //!   random workloads;
 //! * [`engine`] — the deterministic parallel batch-solving engine behind
 //!   `pobp sweep` and `experiments --threads N` (worker pool, panic
-//!   isolation, deadlines, result caching; `docs/engine.md`).
+//!   isolation, deadlines, result caching, certified outputs, graceful
+//!   degradation, and — with `--features chaos` — deterministic fault
+//!   injection; `docs/engine.md`, `docs/robustness.md`).
 //!
 //! Building with `--features obs` compiles in the algorithm-level
 //! counter/timer layer ([`obs`]); without it every instrumentation macro is
@@ -101,7 +103,9 @@ pub mod prelude {
         PartitionedOutcome, PlanChoice, Policy, SimConfig, SimOutcome, SwitchPoint,
     };
     pub use pobp_engine::{
-        run_batch, Algo, BatchReport, CancelToken, Engine, EngineConfig, EngineStats, GridSpec,
-        SolveOutput, SolveTask, TaskReport, TaskResult,
+        run_batch, Algo, BatchReport, CancelToken, CertFailure, CertStage, DegradeCause, Engine,
+        EngineConfig, EngineStats, GridSpec, SolveOutput, SolveTask, TaskReport, TaskResult,
     };
+    #[cfg(feature = "chaos")]
+    pub use pobp_engine::{FaultPlan, FaultSite};
 }
