@@ -16,10 +16,19 @@
 //! solves through the `pobp-engine` worker pool; `--threads N` sets the
 //! pool size (default: hardware parallelism). Results are deterministic —
 //! identical tables — for every thread count (`docs/engine.md`).
+//!
+//! Two extra modes ride along:
+//!
+//! * `bench-snapshot` (selector, excluded from `all`) re-times the E4 grid
+//!   single-threaded and writes the schema-versioned median-wall-clock
+//!   snapshot to `BENCH_e4.json` (`--bench-out FILE` overrides);
+//! * `--trace FILE` (needs a `--features trace` build) writes the Chrome
+//!   trace-event JSON of everything the harness ran; see
+//!   `docs/observability.md`.
 
 use std::collections::BTreeMap;
 
-use pobp::cli::{flag, has_flag, parse_num};
+use pobp::cli::{flag_value, has_flag, parse_num};
 use pobp_bench::{geo_mean, lax_workload, log_base_k1, mixed_workload, small_workload};
 use pobp_core::{JobId, JobSet};
 use pobp_engine::{Algo, Engine, EngineConfig, GridSpec, SolveTask, TaskResult};
@@ -34,24 +43,34 @@ use pobp_sched::{
 /// One harness entry: selector name, table title, runner.
 type Experiment = (&'static str, &'static str, fn(&Engine));
 
+/// Exits with a CLI usage error.
+fn die(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let obs_out: Option<String> = match flag(&args, "--obs-out") {
-        Some(path) => Some(path),
-        None if has_flag(&args, "--obs") => Some("obs-report.json".into()),
-        None => None,
+    let obs_out: Option<String> = match flag_value(&args, "--obs-out") {
+        Ok(Some(path)) => Some(path),
+        Ok(None) if has_flag(&args, "--obs") => Some("obs-report.json".into()),
+        Ok(None) => None,
+        Err(e) => die(e),
     };
-    let threads: usize = parse_num(&args, "--threads", 0usize).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    });
+    let trace_out: Option<String> = flag_value(&args, "--trace").unwrap_or_else(|e| die(e));
+    if trace_out.is_some() && !pobp_core::trace::enabled() {
+        die("--trace needs a binary built with --features trace");
+    }
+    let threads: usize = parse_num(&args, "--threads", 0usize).unwrap_or_else(|e| die(e));
     // The ladder is armed so a misbehaving solver degrades a table row to
     // the polynomial fallback (flagged on stderr) instead of killing the
     // whole harness run.
     let engine = Engine::new(EngineConfig { threads, degrade: true, ..EngineConfig::default() });
     let is_flag_or_value = |i: usize| {
         args[i].starts_with("--")
-            || (i > 0 && (args[i - 1] == "--obs-out" || args[i - 1] == "--threads"))
+            || (i > 0
+                && ["--obs-out", "--threads", "--trace", "--bench-out"]
+                    .contains(&args[i - 1].as_str()))
     };
     let selectors: Vec<&String> =
         (0..args.len()).filter(|&i| !is_flag_or_value(i)).map(|i| &args[i]).collect();
@@ -74,10 +93,27 @@ fn main() {
         ("e11", "Extensions: migrative machines, CS-by-value/density", |_| e11_extensions()),
         ("e12", "Motivation: context-switch cost crossover", |_| e12_switch_cost()),
     ];
+    // `bench-snapshot` is an explicit mode, not part of `all`: it re-times
+    // the E4 grid and snapshots the medians for regression tracking.
+    if selectors.iter().any(|s| *s == "bench-snapshot") {
+        let out = flag_value(&args, "--bench-out")
+            .unwrap_or_else(|e| die(e))
+            .unwrap_or_else(|| "BENCH_e4.json".into());
+        if let Err(e) = bench_snapshot(&out) {
+            die(e);
+        }
+    }
     for (name, title, f) in experiments {
+        // A bare `bench-snapshot` invocation leaves `selectors` non-empty,
+        // so no e* experiment matches and only the snapshot runs.
         if run(name) {
             println!("\n################ {name}: {title} ################\n");
             f(&engine);
+        }
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = emit_trace(&path) {
+            die(e);
         }
     }
     if let Some(path) = obs_out {
@@ -95,6 +131,78 @@ fn main() {
     }
 }
 
+
+/// Schema version of the `BENCH_e4.json` snapshot — bump on any shape
+/// change so downstream diffing can refuse to compare across versions.
+const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// `bench-snapshot`: re-times the E4 reduction grid single-threaded (no
+/// cache, no degradation — pure solver wall-clock) and writes the median
+/// per grid cell to `path` as schema-versioned JSON. Medians over 5 seeds
+/// keep the snapshot robust to one-off scheduler noise; the snapshot is a
+/// coarse regression tripwire, not a Criterion replacement (those benches
+/// live in `crates/bench/benches/`).
+fn bench_snapshot(path: &str) -> Result<(), String> {
+    const NS: [usize; 3] = [20, 40, 80];
+    const KS: [u32; 4] = [0, 1, 2, 4];
+    const SEEDS: u64 = 5;
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        use_cache: false,
+        degrade: false,
+        ..EngineConfig::default()
+    });
+    let mut cells = Vec::new();
+    for &n in &NS {
+        for &k in &KS {
+            let mut runs_ns: Vec<u128> = (0..SEEDS)
+                .map(|seed| {
+                    let task = SolveTask::new(mixed_workload(n, seed).0, k, Algo::Reduction);
+                    let t0 = std::time::Instant::now();
+                    let batch = engine.run_batch(std::slice::from_ref(&task));
+                    let dt = t0.elapsed().as_nanos();
+                    assert!(
+                        batch.reports[0].result.output().is_some(),
+                        "bench-snapshot cell n={n} k={k} seed={seed} did not complete"
+                    );
+                    dt
+                })
+                .collect();
+            runs_ns.sort_unstable();
+            let median_ns = runs_ns[runs_ns.len() / 2];
+            eprintln!("bench-snapshot: n={n} k={k} median {median_ns} ns");
+            cells.push(format!(
+                "    {{\"n\": {n}, \"k\": {k}, \"median_ns\": {median_ns}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"schema\": {BENCH_SCHEMA_VERSION},\n  \"experiment\": \"e4-bench\",\n  \
+         \"alg\": \"reduction\",\n  \"threads\": 1,\n  \"seeds\": {SEEDS},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        cells.join(",\n")
+    );
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote bench snapshot to {path}");
+    Ok(())
+}
+
+/// Writes the Chrome trace-event JSON of everything the harness ran.
+/// Compiled only with the `trace` feature; `main` rejects `--trace` before
+/// reaching this in trace-less builds.
+#[cfg(feature = "trace")]
+fn emit_trace(path: &str) -> Result<(), String> {
+    let events = pobp_core::trace::drain();
+    std::fs::write(path, pobp_core::trace::chrome_json(&events))
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    println!("wrote Chrome trace to {path} ({} events)", events.len());
+    Ok(())
+}
+
+/// Trace-less stub: unreachable because `main` rejects `--trace` first.
+#[cfg(not(feature = "trace"))]
+fn emit_trace(_path: &str) -> Result<(), String> {
+    Err("--trace needs a binary built with --features trace".into())
+}
 
 fn e1_laminar() {
     println!("EDF schedules are laminar by construction; arbitrary feasible");

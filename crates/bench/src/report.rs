@@ -139,7 +139,7 @@ pub fn obs_tables(snap: &pobp_core::obs::Snapshot) -> String {
         out.push_str(&t.to_text());
     }
     if !snap.events.is_empty() {
-        let mut t = Table::new(["event", "count", "sum", "min", "max"]);
+        let mut t = Table::new(["event", "count", "sum", "min", "max", "p50", "p90", "p99"]);
         for (name, e) in &snap.events {
             t.push([
                 name.to_string(),
@@ -147,6 +147,9 @@ pub fn obs_tables(snap: &pobp_core::obs::Snapshot) -> String {
                 e.sum.to_string(),
                 e.min.to_string(),
                 e.max.to_string(),
+                format!("{:.1}", e.quantile(0.50)),
+                format!("{:.1}", e.quantile(0.90)),
+                format!("{:.1}", e.quantile(0.99)),
             ]);
         }
         if !out.is_empty() {
@@ -246,11 +249,18 @@ mod tests {
         snap.counters.insert("sched.edf.runs", 3);
         snap.events.insert(
             "sched.lsa_cs.class_size",
-            pobp_core::obs::EventSnapshot { count: 2, sum: 7, min: 3, max: 4 },
+            pobp_core::obs::EventSnapshot {
+                count: 2,
+                sum: 7,
+                min: 3,
+                max: 4,
+                ..Default::default()
+            },
         );
         let text = obs_tables(&snap);
         assert!(text.contains("sched.edf.runs"));
         assert!(text.contains("sched.lsa_cs.class_size"));
+        assert!(text.contains("p99"));
 
         let empty = obs_tables(&pobp_core::obs::Snapshot::default());
         assert!(empty.contains("obs"));

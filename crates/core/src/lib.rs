@@ -16,15 +16,17 @@
 //! Everything is exact integer arithmetic; feasibility is a decidable
 //! predicate with no epsilons ([`Schedule::verify`]).
 //!
-//! The crate also exports the workspace's zero-cost instrumentation layer
+//! The crate also exports the workspace's zero-cost instrumentation layers
 //! ([`obs`], with the [`obs_count!`], [`obs_time!`], and [`obs_event!`]
-//! macros), compiled to no-ops unless the `obs` cargo feature is enabled —
-//! see `docs/observability.md`.
+//! macros, and [`trace`], with [`obs_span!`] and [`trace_event!`]), both
+//! compiled to no-ops unless the matching cargo feature (`obs` / `trace`)
+//! is enabled — see `docs/observability.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod obs;
+pub mod trace;
 
 mod job;
 mod render;

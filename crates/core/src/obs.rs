@@ -34,6 +34,116 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
+/// Version of the JSON report schema emitted by [`Snapshot::to_json`].
+///
+/// * **1** — counters / timers / events with count, sum, min, max.
+/// * **2** — adds the `schema` key itself plus `p50` / `p90` / `p99`
+///   quantile estimates per event (log₂-bucket histogram).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Number of log₂ buckets in a [`LogHistogram`] (covers all of `u64`).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-size log₂-bucket histogram of `u64` observations.
+///
+/// Bucket 0 holds values `{0, 1}`; bucket `i ≥ 1` holds `[2^i, 2^(i+1))`.
+/// Recording is one relaxed `fetch_add` — cheap enough for hot paths.
+/// Quantiles are estimated with linear interpolation inside the selected
+/// bucket (see [`quantile_from_buckets`]), so they carry at most one
+/// bucket's width of error (a factor ≤ 2) but never allocate.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        LogHistogram { buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS] }
+    }
+
+    /// The bucket index for `value`: `floor(log2(max(value, 1)))`.
+    pub fn bucket_of(value: u64) -> usize {
+        value.max(1).ilog2() as usize
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current bucket counts.
+    pub fn counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for (slot, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Estimated `q`-quantile of the recorded observations; see
+    /// [`quantile_from_buckets`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.counts(), q)
+    }
+
+    /// Zeroes every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Estimates the `q`-quantile (`q ∈ [0, 1]`) from log₂ bucket counts.
+///
+/// Uses the 1-based rank `ceil(q · n)` clamped to `[1, n]`, then linear
+/// interpolation between the selected bucket's bounds: with `c`
+/// observations in the bucket and the rank falling `w` deep into it
+/// (`1 ≤ w ≤ c`), the estimate is `lo + (hi − lo) · w / c`. Returns 0.0
+/// for an empty histogram.
+pub fn quantile_from_buckets(buckets: &[u64; HIST_BUCKETS], q: f64) -> f64 {
+    let n: u64 = buckets.iter().sum();
+    if n == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        if cum >= target {
+            let lo = LogHistogram::bucket_lo(i) as f64;
+            let hi = if i + 1 >= HIST_BUCKETS {
+                u64::MAX as f64
+            } else {
+                (1u128 << (i + 1)) as f64
+            };
+            let within = (target - (cum - c)) as f64;
+            return lo + (hi - lo) * (within / c as f64);
+        }
+    }
+    unreachable!("cumulative bucket count covers every rank")
+}
+
 /// A named monotonic counter. One `static` per `obs_count!` call site.
 #[derive(Debug)]
 pub struct Counter {
@@ -97,6 +207,7 @@ pub struct EventStat {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    hist: LogHistogram,
     registered: AtomicBool,
 }
 
@@ -109,6 +220,7 @@ impl EventStat {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            hist: LogHistogram::new(),
             registered: AtomicBool::new(false),
         }
     }
@@ -122,6 +234,7 @@ impl EventStat {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+        self.hist.record(value);
     }
 }
 
@@ -168,6 +281,21 @@ pub struct EventSnapshot {
     pub min: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Log₂ bucket counts (see [`LogHistogram`]); feeds the quantiles.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl EventSnapshot {
+    /// Estimated `q`-quantile; see [`quantile_from_buckets`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets, q)
+    }
+}
+
+impl Default for EventSnapshot {
+    fn default() -> Self {
+        EventSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: [0; HIST_BUCKETS] }
+    }
 }
 
 /// A point-in-time copy of every registered counter, timer, and event,
@@ -193,14 +321,20 @@ impl Snapshot {
     ///
     /// ```json
     /// {
+    ///   "schema": 2,
     ///   "obs_enabled": true,
     ///   "counters": { "sched.edf.heap_push": 40 },
     ///   "timers": { "sched.reduction.time.laminarize": { "total_ns": 1200, "spans": 1 } },
-    ///   "events": { "sched.lsa_cs.class_size": { "count": 3, "sum": 17, "min": 2, "max": 9 } }
+    ///   "events": { "sched.lsa_cs.class_size": { "count": 3, "sum": 17, "min": 2, "max": 9,
+    ///               "p50": 4.7, "p90": 8.9, "p99": 9.9 } }
     /// }
     /// ```
+    ///
+    /// `p50`/`p90`/`p99` are histogram estimates ([`quantile_from_buckets`]);
+    /// the bump to `"schema": 2` marks their introduction.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"obs_enabled\": {},\n", enabled()));
         out.push_str("  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -228,14 +362,26 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    \"{name}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {} }}",
-                e.count, e.sum, e.min, e.max
+                "\n    \"{name}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {} }}",
+                e.count,
+                e.sum,
+                e.min,
+                e.max,
+                fmt_f64(e.quantile(0.50)),
+                fmt_f64(e.quantile(0.90)),
+                fmt_f64(e.quantile(0.99))
             ));
         }
         out.push_str(if self.events.is_empty() { "}\n" } else { "\n  }\n" });
         out.push('}');
         out
     }
+}
+
+/// Formats a quantile estimate with one decimal place (stable JSON shape).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.1}")
 }
 
 /// Copies the current state of every registered instrument, merging call
@@ -258,11 +404,14 @@ pub fn snapshot() -> Snapshot {
         let e = snap
             .events
             .entry(ev.name)
-            .or_insert(EventSnapshot { count: 0, sum: 0, min: u64::MAX, max: 0 });
+            .or_insert(EventSnapshot { min: u64::MAX, ..EventSnapshot::default() });
         e.count += count;
         e.sum += ev.sum.load(Ordering::Relaxed);
         e.min = e.min.min(ev.min.load(Ordering::Relaxed));
         e.max = e.max.max(ev.max.load(Ordering::Relaxed));
+        for (slot, c) in e.buckets.iter_mut().zip(ev.hist.counts()) {
+            *slot += c;
+        }
     }
     for e in snap.events.values_mut() {
         if e.count == 0 {
@@ -286,6 +435,7 @@ pub fn reset() {
         e.sum.store(0, Ordering::Relaxed);
         e.min.store(u64::MAX, Ordering::Relaxed);
         e.max.store(0, Ordering::Relaxed);
+        e.hist.reset();
     }
 }
 
@@ -349,28 +499,34 @@ macro_rules! obs_count {
 }
 
 /// Times a span: `obs_time!("name", { body })` evaluates to the body's
-/// value, accumulating its wall-clock time. With the `obs` feature off this
-/// expands to the body expression unchanged — the body always runs.
+/// value, accumulating its wall-clock time. With the `trace` feature on it
+/// additionally emits a timing-class trace span under the same name (via
+/// [`obs_span!`](crate::obs_span)). With both features off this expands to
+/// the body expression unchanged — the body always runs.
 #[cfg(feature = "obs")]
 #[macro_export]
 macro_rules! obs_time {
-    ($name:literal, $body:expr) => {{
-        static __OBS_TIMER: $crate::obs::Timer = $crate::obs::Timer::new($name);
-        let __obs_start = ::std::time::Instant::now();
-        let __obs_out = $body;
-        __OBS_TIMER.record(__obs_start.elapsed());
-        __obs_out
-    }};
+    ($name:literal, $body:expr) => {
+        $crate::obs_span!(timing $name, {
+            static __OBS_TIMER: $crate::obs::Timer = $crate::obs::Timer::new($name);
+            let __obs_start = ::std::time::Instant::now();
+            let __obs_out = $body;
+            __OBS_TIMER.record(__obs_start.elapsed());
+            __obs_out
+        })
+    };
 }
 
 /// Times a span: `obs_time!("name", { body })` evaluates to the body's
-/// value, accumulating its wall-clock time. With the `obs` feature off this
-/// expands to the body expression unchanged — the body always runs.
+/// value, accumulating its wall-clock time. With the `trace` feature on it
+/// additionally emits a timing-class trace span under the same name (via
+/// [`obs_span!`](crate::obs_span)). With both features off this expands to
+/// the body expression unchanged — the body always runs.
 #[cfg(not(feature = "obs"))]
 #[macro_export]
 macro_rules! obs_time {
     ($name:literal, $body:expr) => {
-        $body
+        $crate::obs_span!(timing $name, $body)
     };
 }
 
@@ -405,9 +561,54 @@ mod tests {
     fn snapshot_json_shape_when_empty() {
         let s = Snapshot::default();
         let j = s.to_json();
+        assert!(j.contains(&format!("\"schema\": {SCHEMA_VERSION}")));
         assert!(j.contains("\"counters\": {}"));
         assert!(j.contains("\"timers\": {}"));
         assert!(j.contains("\"events\": {}"));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(4), 2);
+        assert_eq!(LogHistogram::bucket_of(7), 2);
+        assert_eq!(LogHistogram::bucket_of(8), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+        assert_eq!(LogHistogram::bucket_lo(0), 0);
+        assert_eq!(LogHistogram::bucket_lo(1), 2);
+        assert_eq!(LogHistogram::bucket_lo(3), 8);
+        assert_eq!(LogHistogram::bucket_lo(63), 1u64 << 63);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolation() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0); // empty histogram
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        // Buckets: [0,2)=2 obs, [2,4)=2 obs, [4,8)=4 obs. n = 8.
+        assert_eq!(h.quantile(0.0), 1.0); // rank 1, half into bucket 0
+        assert_eq!(h.quantile(0.5), 4.0); // rank 4, end of bucket 1
+        assert_eq!(h.quantile(1.0), 8.0); // rank 8, end of bucket 2
+        h.reset();
+        assert_eq!(h.counts(), [0u64; HIST_BUCKETS]);
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_bounded_by_bucket_width() {
+        let h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(8);
+        }
+        // All mass in [8,16): any quantile estimate stays inside the bucket.
+        for q in [0.5, 0.9, 0.99] {
+            let est = h.quantile(q);
+            assert!((8.0..=16.0).contains(&est), "q={q} est={est}");
+        }
     }
 
     #[cfg(feature = "obs")]
@@ -426,9 +627,15 @@ mod tests {
         assert_eq!(snap.counter("core.test.ticks"), 10);
         let ev = &snap.events["core.test.size"];
         assert_eq!((ev.count, ev.sum, ev.min, ev.max), (5, 10, 0, 4));
+        // Observations 0..5 land in buckets [0,2)=2, [2,4)=2, [4,8)=1.
+        assert_eq!((ev.buckets[0], ev.buckets[1], ev.buckets[2]), (2, 2, 1));
+        assert_eq!(ev.quantile(0.5), 3.0);
         assert_eq!(snap.timers["core.test.span"].spans, 1);
         let j = snap.to_json();
         assert!(j.contains("\"core.test.ticks\": 10"));
+        assert!(j.contains("\"p50\": 3.0"));
+        assert!(j.contains("\"p90\":"));
+        assert!(j.contains("\"p99\":"));
     }
 
     #[cfg(not(feature = "obs"))]

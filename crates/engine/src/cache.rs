@@ -32,7 +32,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use pobp_core::{JobSet, Schedule};
+use pobp_core::{trace_event, JobSet, Schedule};
 
 use crate::task::{Algo, SolveOutput};
 
@@ -128,6 +128,9 @@ impl ResultCache {
             }
             sol
         };
+        // Timing-class: under a race several workers store (the winner's
+        // entry survives), so store counts vary across thread counts.
+        trace_event!(timing "cache.ref_store");
         self.refs
             .lock()
             .unwrap()
@@ -167,6 +170,7 @@ impl ResultCache {
             }
             entry
         };
+        trace_event!(timing "cache.result_store");
         self.results.lock().unwrap().insert((inst, k, machines, algo, exact), entry);
     }
 

@@ -212,10 +212,12 @@ impl FaultPlan {
     pub(crate) fn inject_panic(&self, key: u64, attempt: u32) {
         if self.fires(FaultSite::Panic, key) {
             pobp_core::obs_count!("engine.chaos.panic");
+            pobp_core::trace_event!("chaos.panic", attempt);
             panic!("chaos: injected panic (site=panic, key={key:#x})");
         }
         if attempt == 1 && self.fires(FaultSite::Flaky, key) {
             pobp_core::obs_count!("engine.chaos.flaky");
+            pobp_core::trace_event!("chaos.flaky");
             panic!("chaos: injected panic (site=flaky, key={key:#x})");
         }
     }
@@ -227,6 +229,9 @@ impl FaultPlan {
             return false;
         }
         pobp_core::obs_count!("engine.chaos.corrupt_ref");
+        // Timing-class: corruption fires at put time, and under a race the
+        // losing worker's put (and thus this event) can repeat.
+        pobp_core::trace_event!(timing "chaos.corrupt_ref");
         // Push the claimed reference value well past any certification
         // tolerance while keeping it finite and positive.
         sol.value = sol.value * 2.0 + 1.0;
@@ -240,6 +245,7 @@ impl FaultPlan {
             return false;
         }
         pobp_core::obs_count!("engine.chaos.corrupt_result");
+        pobp_core::trace_event!(timing "chaos.corrupt_result");
         out.alg_value = out.alg_value * 2.0 + 1.0;
         true
     }

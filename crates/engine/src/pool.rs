@@ -26,7 +26,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use pobp_core::{obs_count, obs_event};
+use pobp_core::obs::LogHistogram;
+use pobp_core::{obs_count, obs_event, obs_span, trace, trace_event};
 
 use crate::cache::{instance_hash, CachedResult, ResultCache};
 use crate::cancel::{CancelToken, StopReason, TaskCtx};
@@ -59,6 +60,11 @@ pub struct EngineConfig {
     /// changes the failure taxonomy (`TimedOut`/`Panicked` become
     /// `Degraded` when the rescue lands), so callers opt in.
     pub degrade: bool,
+    /// Whether a live progress meter is written to stderr while the batch
+    /// runs: rows done/total, throughput, running p50 task latency, and
+    /// degrade/cert-failure counts. Purely cosmetic — stdout rows and
+    /// reports are unaffected.
+    pub progress: bool,
 }
 
 impl Default for EngineConfig {
@@ -70,6 +76,7 @@ impl Default for EngineConfig {
             backoff: Duration::from_millis(5),
             use_cache: true,
             degrade: false,
+            progress: false,
         }
     }
 }
@@ -209,15 +216,26 @@ impl Engine {
         .min(n)
         .max(1);
 
+        // Enqueue marks: recorded by the submitting thread, in input order,
+        // before any worker exists — they sort ahead of every per-task
+        // event in the logical trace.
+        if trace::enabled() {
+            for i in 0..n {
+                let _ctx = trace::task_context(i as u64);
+                trace_event!("task.enqueue");
+            }
+        }
+        let progress = self.cfg.progress.then(|| Progress::new(n));
+
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<TaskReport>>> = Mutex::new(vec![None; n]);
         let inflight: Mutex<HashMap<usize, (Instant, CancelToken)>> = Mutex::new(HashMap::new());
-        let watchdog_done = AtomicBool::new(false);
+        let pool_done = AtomicBool::new(false);
 
         std::thread::scope(|s| {
             if self.cfg.deadline.is_some() {
                 s.spawn(|| {
-                    while !watchdog_done.load(Ordering::Acquire) {
+                    while !pool_done.load(Ordering::Acquire) {
                         std::thread::sleep(Duration::from_millis(2));
                         let now = Instant::now();
                         for (at, token) in inflight.lock().unwrap().values() {
@@ -227,6 +245,16 @@ impl Engine {
                             }
                         }
                     }
+                });
+            }
+            if let Some(p) = &progress {
+                s.spawn(|| {
+                    while !pool_done.load(Ordering::Acquire) {
+                        eprint!("\r{}", p.render());
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    // Final line, with everything accounted for.
+                    eprintln!("\r{}", p.render());
                 });
             }
             let workers: Vec<_> = (0..threads)
@@ -240,20 +268,29 @@ impl Engine {
                             }
                             obs_event!("engine.queue.depth", (n - i - 1) as u64);
                             let start = Instant::now();
-                            let report = self.run_one(i, &tasks[i], &stats, &inflight);
+                            let report = {
+                                let _task = trace::task_scope(i as u64, &tasks[i].label);
+                                let report = self.run_one(i, &tasks[i], &stats, &inflight);
+                                trace_event!("emit", text: report.result.status());
+                                report
+                            };
                             busy += start.elapsed();
+                            if let Some(p) = &progress {
+                                p.record(&report.result, start.elapsed());
+                            }
                             slots.lock().unwrap()[i] = Some(report);
                         }
                         obs_event!("engine.worker.busy_us", busy.as_micros() as u64);
                     })
                 })
                 .collect();
-            // Join the workers before stopping the watchdog: a worker panic
-            // here (outside the per-task catch_unwind) is an engine bug.
+            // Join the workers before stopping the watchdog/progress
+            // threads: a worker panic here (outside the per-task
+            // catch_unwind) is an engine bug.
             for w in workers {
                 w.join().expect("engine worker panicked outside the task wrapper");
             }
-            watchdog_done.store(true, Ordering::Release);
+            pool_done.store(true, Ordering::Release);
         });
 
         let reports: Vec<TaskReport> = slots
@@ -278,18 +315,22 @@ impl Engine {
         let cache = self.cfg.use_cache.then_some(&*self.cache);
         let inst = instance_hash(&task.instance);
         if let Some(c) = cache {
-            if let Some(hit) = c.get_result(inst, task.k, task.machines, task.algo, task.exact_ref)
-            {
+            // Timing-class: whether a result-layer probe hits depends on
+            // scheduling order, so none of this appears in the logical trace.
+            if let Some(hit) = obs_span!(timing "cache.probe", {
+                c.get_result(inst, task.k, task.machines, task.algo, task.exact_ref)
+            }) {
+                trace_event!(timing "cache.result_hit");
                 // Trust boundary: a hit is re-certified against the
                 // schedule stored with it, never trusted. A poisoned entry
                 // surfaces as CertFailed — not as a wrong output row.
-                let result = match cert::certify_solve(
+                let result = match obs_span!(timing "cert.recheck", cert::certify_solve(
                     &task.instance,
                     &hit.schedule,
                     hit.eff_k,
                     task.machines,
                     &hit.output,
-                ) {
+                )) {
                     Ok(()) => {
                         obs_count!("engine.tasks.cached");
                         obs_count!("engine.cert.ok");
@@ -298,6 +339,7 @@ impl Engine {
                     }
                     Err(failure) => {
                         obs_count!("engine.cert.failed");
+                        trace_event!(timing "cert.recheck_failed");
                         stats.cert_failed.fetch_add(1, Ordering::Relaxed);
                         failure.into()
                     }
@@ -318,6 +360,7 @@ impl Engine {
             // before it starts; the wrapper notices at its first boundary.
             if ch.plan.fires(crate::chaos::FaultSite::SpuriousCancel, ch.key) {
                 obs_count!("engine.chaos.cancel");
+                trace_event!("chaos.cancel");
                 token.cancel();
             }
         }
@@ -336,20 +379,25 @@ impl Engine {
         let mut attempts = 0u32;
         let result = loop {
             attempts += 1;
+            // The attempt span lives inside the catch_unwind so its end
+            // event fires during unwinding — panicking attempts still close.
             let attempt = || {
-                #[cfg(feature = "chaos")]
-                if let Some(ch) = &ctx.chaos {
-                    // The `delay` site: stall the attempt (wall-clock only —
-                    // outputs are unaffected, but an armed real deadline may
-                    // now fire, which is the point).
-                    if ch.plan.fires(crate::chaos::FaultSite::Delay, ch.key) {
-                        obs_count!("engine.chaos.delay");
-                        std::thread::sleep(ch.plan.delay());
+                obs_span!("attempt", {
+                    #[cfg(feature = "chaos")]
+                    if let Some(ch) = &ctx.chaos {
+                        // The `delay` site: stall the attempt (wall-clock
+                        // only — outputs are unaffected, but an armed real
+                        // deadline may now fire, which is the point).
+                        if ch.plan.fires(crate::chaos::FaultSite::Delay, ch.key) {
+                            obs_count!("engine.chaos.delay");
+                            trace_event!("chaos.delay");
+                            std::thread::sleep(ch.plan.delay());
+                        }
+                        // The `panic`/`flaky` sites, inside catch_unwind.
+                        ch.plan.inject_panic(ch.key, attempts);
                     }
-                    // The `panic`/`flaky` sites, inside catch_unwind.
-                    ch.plan.inject_panic(ch.key, attempts);
-                }
-                solve_task(task, &ctx, cache)
+                    solve_task(task, &ctx, cache)
+                })
             };
             match catch_unwind(AssertUnwindSafe(attempt)) {
                 Ok(Ok(solved)) => {
@@ -377,10 +425,12 @@ impl Engine {
                 }
                 Ok(Err(SolveFailure::Cert(failure))) => {
                     obs_count!("engine.cert.failed");
+                    trace_event!("cert.failed", text: failure.stage.name());
                     stats.cert_failed.fetch_add(1, Ordering::Relaxed);
                     break failure.into();
                 }
                 Ok(Err(SolveFailure::Stopped(StopReason::DeadlineExceeded))) => {
+                    trace_event!("stop.deadline");
                     if let Some(rescued) =
                         self.try_degrade(task, DegradeCause::DeadlineExceeded, stats)
                     {
@@ -391,6 +441,7 @@ impl Engine {
                     break TaskResult::TimedOut;
                 }
                 Ok(Err(SolveFailure::Stopped(StopReason::BatchCancelled))) => {
+                    trace_event!("stop.cancelled");
                     obs_count!("engine.tasks.cancelled");
                     stats.cancelled.fetch_add(1, Ordering::Relaxed);
                     break TaskResult::Cancelled;
@@ -398,6 +449,7 @@ impl Engine {
                 Err(payload) => {
                     if attempts <= self.cfg.max_retries && ctx.should_stop().is_none() {
                         obs_count!("engine.tasks.retried");
+                        trace_event!("retry", attempts);
                         stats.retried.fetch_add(1, Ordering::Relaxed);
                         let exp = attempts.saturating_sub(1).min(16);
                         let pause = self
@@ -405,7 +457,7 @@ impl Engine {
                             .backoff
                             .saturating_mul(1u32 << exp)
                             .min(Duration::from_millis(100));
-                        std::thread::sleep(pause);
+                        obs_span!(timing "retry.backoff", std::thread::sleep(pause));
                         continue;
                     }
                     if let Some(rescued) =
@@ -462,18 +514,85 @@ impl Engine {
         // task's report, so caching it under the fallback key would let an
         // unrelated duplicate of the fallback task pick up accounting
         // differences, and caching under the original key would be a lie.
-        match catch_unwind(AssertUnwindSafe(|| solve_task(&fb_task, &ctx, None))) {
-            Ok(Ok(solved)) => {
-                obs_count!("engine.degrade.rescued");
-                obs_count!("engine.cert.ok");
-                stats.degraded.fetch_add(1, Ordering::Relaxed);
-                Some(TaskResult::Degraded { fallback, cause, output: solved.output })
+        obs_span!("degrade", {
+            match catch_unwind(AssertUnwindSafe(|| solve_task(&fb_task, &ctx, None))) {
+                Ok(Ok(solved)) => {
+                    obs_count!("engine.degrade.rescued");
+                    obs_count!("engine.cert.ok");
+                    trace_event!("degrade.rescued", text: fallback.name());
+                    stats.degraded.fetch_add(1, Ordering::Relaxed);
+                    Some(TaskResult::Degraded { fallback, cause, output: solved.output })
+                }
+                _ => {
+                    obs_count!("engine.degrade.failed");
+                    trace_event!("degrade.failed");
+                    None
+                }
             }
-            _ => {
-                obs_count!("engine.degrade.failed");
-                None
-            }
+        })
+    }
+}
+
+/// Shared state behind the live `--progress` stderr meter
+/// ([`EngineConfig::progress`]): workers record outcomes, a dedicated
+/// reporter thread renders a `\r`-overwritten line every 50 ms.
+struct Progress {
+    total: usize,
+    start: Instant,
+    done: AtomicUsize,
+    degraded: AtomicUsize,
+    cert_failed: AtomicUsize,
+    /// Per-task wall-clock latency in µs; drives the running p50.
+    latency_us: LogHistogram,
+}
+
+impl Progress {
+    fn new(total: usize) -> Self {
+        Progress {
+            total,
+            start: Instant::now(),
+            done: AtomicUsize::new(0),
+            degraded: AtomicUsize::new(0),
+            cert_failed: AtomicUsize::new(0),
+            latency_us: LogHistogram::new(),
         }
+    }
+
+    fn record(&self, result: &TaskResult, elapsed: Duration) {
+        match result {
+            TaskResult::Degraded { .. } => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            TaskResult::CertFailed { .. } => {
+                self.cert_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.latency_us.record(elapsed.as_micros() as u64);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render(&self) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let secs = self.start.elapsed().as_secs_f64().max(1e-9);
+        let p50 = self.latency_us.quantile(0.5);
+        format!(
+            "progress: {done}/{total} rows | {rate:.1} rows/s | p50 {p50} | {deg} degraded | {cf} cert-failed   ",
+            total = self.total,
+            rate = done as f64 / secs,
+            p50 = fmt_latency_us(p50),
+            deg = self.degraded.load(Ordering::Relaxed),
+            cf = self.cert_failed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Renders a µs latency estimate human-readably (`740µs`, `12.3ms`).
+fn fmt_latency_us(us: f64) -> String {
+    if us >= 1000.0 {
+        format!("{:.1}ms", us / 1000.0)
+    } else {
+        format!("{us:.0}µs")
     }
 }
 

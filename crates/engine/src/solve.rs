@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use pobp_core::{obs_count, obs_time, schedule_stats, JobId, Schedule};
+use pobp_core::{obs_count, obs_time, schedule_stats, trace_event, JobId, Schedule};
 use pobp_sched::{
     combined_from_scratch, greedy_unbounded, iterative_multi_machine, k_preemption_combined,
     lsa_cs, opt_unbounded, reduce_to_k_bounded, schedule_k0,
@@ -62,6 +62,9 @@ fn reference(
     if let Some(c) = cache {
         if let Some(hit) = c.get_ref(inst, task.exact_ref) {
             obs_count!("engine.cache.ref_hits");
+            // Timing-class: which task wins the race to compute a shared
+            // reference depends on scheduling order.
+            trace_event!(timing "cache.ref_hit");
             return (hit, true);
         }
     }
@@ -76,6 +79,7 @@ fn reference(
         }
     });
     obs_count!("engine.solve.ref_computed");
+    trace_event!(timing "cache.ref_computed");
     let sol = match cache {
         Some(c) => c.put_ref(inst, task.exact_ref, sol),
         None => Arc::new(sol),
@@ -157,6 +161,7 @@ pub(crate) fn solve_task(
         // the reference→bounded stage boundary.
         if ch.plan.fires(crate::chaos::FaultSite::ForcedDeadline, ch.key) {
             obs_count!("engine.chaos.deadline");
+            trace_event!("chaos.deadline");
             return Err(StopReason::DeadlineExceeded.into());
         }
     }
@@ -180,5 +185,6 @@ pub(crate) fn solve_task(
             })
             .map_err(SolveFailure::Cert)
     })?;
+    trace_event!("cert.ok");
     Ok(Solved { output, schedule: Arc::new(schedule), eff_k, ref_hit })
 }

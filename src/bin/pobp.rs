@@ -13,7 +13,7 @@
 //! The instance format is the one of `pobp::prelude::{write_jobs, parse_jobs}`:
 //! one `release deadline length value` line per job.
 
-use pobp::cli::{flag, has_flag, parse_num, parse_num_list};
+use pobp::cli::{flag, flag_value, has_flag, parse_num, parse_num_list};
 use pobp::prelude::*;
 use std::io::Read;
 
@@ -47,14 +47,54 @@ fn main() {
 /// Handles the global `--obs` / `--obs-out FILE` flags after a successful
 /// command: dump the JSON counter report (docs/observability.md) to stderr,
 /// or to FILE. With the `obs` feature off the report is emitted all the
-/// same, carrying `"obs_enabled": false` and empty sections.
+/// same, carrying `"obs_enabled": false` and empty sections. `--obs-out`
+/// without a value is an error, not a silent no-op.
 fn emit_obs_report(args: &[String]) -> Result<(), String> {
-    if let Some(path) = flag(args, "--obs-out") {
+    if let Some(path) = flag_value(args, "--obs-out")? {
         std::fs::write(&path, pobp::obs::report_json())
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote obs report to {path}");
     } else if has_flag(args, "--obs") {
         eprintln!("{}", pobp::obs::report_json());
+    }
+    Ok(())
+}
+
+/// Handles `--trace FILE` (Chrome trace-event JSON, Perfetto-loadable) and
+/// `--trace-logical FILE` (deterministic logical trace) for the commands
+/// that run traced work: `sweep` and `solve`. Called at the end of those
+/// commands — not from the global dispatch — because `sim --trace` is an
+/// unrelated boolean flag. Without the `trace` feature the flags are a
+/// build-time error, mirroring the `--chaos` gating.
+#[cfg(feature = "trace")]
+fn emit_trace_reports(args: &[String]) -> Result<(), String> {
+    let chrome = flag_value(args, "--trace")?;
+    let logical = flag_value(args, "--trace-logical")?;
+    if chrome.is_none() && logical.is_none() {
+        return Ok(());
+    }
+    let events = pobp::trace::drain();
+    if let Some(path) = chrome {
+        std::fs::write(&path, pobp::trace::chrome_json(&events))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path} ({} events)", events.len());
+    }
+    if let Some(path) = logical {
+        std::fs::write(&path, pobp::trace::logical_text(&events))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote logical trace to {path}");
+    }
+    Ok(())
+}
+
+/// Trace-less builds reject the tracing flags loudly instead of silently
+/// writing nothing.
+#[cfg(not(feature = "trace"))]
+fn emit_trace_reports(args: &[String]) -> Result<(), String> {
+    if has_flag(args, "--trace") || has_flag(args, "--trace-logical") {
+        return Err(
+            "--trace/--trace-logical need a binary built with --features trace".into(),
+        );
     }
     Ok(())
 }
@@ -65,17 +105,28 @@ pobp — The Price of Bounded Preemption (SPAA'18) toolbox
 USAGE:
   pobp gen --kind <fig2|fig4|random|periodic> [--n N] [--k K] [--depth L] [--seed S]
   pobp solve --k K [--alg <reduction|combined|lsa|k0>] [--gantt] [--svg FILE]
+             [--trace FILE]
   pobp price --k K                                                  (instance on stdin)
   pobp sim --policy <edf|budget|nonpre> [--k K] [--delta D]         (instance on stdin)
   pobp choose-k --delta D [--kmax K]                                (instance on stdin)
   pobp replay --plan FILE --delta D                                 (instance on stdin)
   pobp sweep [--n LIST] [--k LIST] [--seeds S] [--alg A] [--threads N]
              [--deadline-ms MS] [--machines M] [--exact-ref] [--no-cache]
-             [--retries R] [--degrade]           (grid sweep, JSON lines on stdout)
+             [--retries R] [--degrade] [--progress]
+             [--trace FILE] [--trace-logical FILE]
+                                                 (grid sweep, JSON lines on stdout)
 
 Any command also accepts --obs (print the JSON counter report to stderr) or
 --obs-out FILE (write it to FILE). Counters require building with
 `--features obs`; see docs/observability.md.
+
+sweep and solve accept --trace FILE (Chrome trace-event JSON — open in
+Perfetto / chrome://tracing) and sweep also --trace-logical FILE (the
+deterministic logical trace: ordering and phase transitions, timestamps
+stripped, byte-identical across --threads). Both need a binary built with
+`--features trace`. sweep --progress draws a live stderr meter (rows
+done/total, throughput, running p50 task latency, degrade/cert-fail
+counts).
 
 sweep runs the (n, k, seed) grid through the parallel batch engine
 (docs/engine.md): one JSON line per task on stdout, in deterministic grid
@@ -153,17 +204,22 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let jobs = read_stdin_jobs()?;
     let ids: Vec<JobId> = jobs.ids().collect();
 
-    let schedule = match alg.as_str() {
-        "reduction" => {
-            let inf = greedy_unbounded(&jobs, &ids);
-            reduce_to_k_bounded(&jobs, &inf.schedule, k)
-                .map_err(|e| e.to_string())?
-                .schedule
+    let schedule = {
+        // Tag the whole solve as one task span so `--trace` output groups
+        // the algorithm-stage timers under it (no-op without the feature).
+        let _task = pobp::trace::task_scope(0, &alg);
+        match alg.as_str() {
+            "reduction" => {
+                let inf = greedy_unbounded(&jobs, &ids);
+                reduce_to_k_bounded(&jobs, &inf.schedule, k)
+                    .map_err(|e| e.to_string())?
+                    .schedule
+            }
+            "combined" => combined_from_scratch(&jobs, &ids, k).chosen,
+            "lsa" => lsa_cs(&jobs, &ids, k).schedule,
+            "k0" => schedule_k0(&jobs, &ids).schedule,
+            other => return Err(format!("unknown --alg {other}")),
         }
-        "combined" => combined_from_scratch(&jobs, &ids, k).chosen,
-        "lsa" => lsa_cs(&jobs, &ids, k).schedule,
-        "k0" => schedule_k0(&jobs, &ids).schedule,
-        other => return Err(format!("unknown --alg {other}")),
     };
     let effective_k = if alg == "k0" { 0 } else { k };
     schedule
@@ -200,6 +256,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
+    emit_trace_reports(args)?;
     Ok(())
 }
 
@@ -355,8 +412,17 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         max_retries: retries,
         use_cache: !has_flag(args, "--no-cache"),
         degrade: has_flag(args, "--degrade"),
+        progress: has_flag(args, "--progress"),
         ..EngineConfig::default()
     };
+    // The tracing flags are consumed after the batch (`emit_trace_reports`);
+    // validate them up front so a bad invocation fails before a long sweep.
+    flag_value(args, "--trace")?;
+    flag_value(args, "--trace-logical")?;
+    #[cfg(not(feature = "trace"))]
+    if has_flag(args, "--trace") || has_flag(args, "--trace-logical") {
+        return Err("--trace/--trace-logical need a binary built with --features trace".into());
+    }
     #[cfg(feature = "chaos")]
     let batch = match chaos_plan {
         Some(plan) => Engine::with_chaos(cfg, plan).run_batch(&grid.tasks()),
@@ -424,6 +490,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         s.ref_cache_hits,
         if threads == 0 { "auto".to_string() } else { threads.to_string() },
     );
+    emit_trace_reports(args)?;
     Ok(())
 }
 

@@ -20,6 +20,20 @@ pub fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Like [`flag`], but a flag that is present **must** carry a value: `Err`
+/// when `--name` is the last argument or is followed by another `--flag`.
+/// Use this for flags where silently ignoring a missing value would look
+/// like success (e.g. `--obs-out`, `--trace`).
+pub fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{name} needs a value (e.g. `{name} FILE`)")),
+        },
+    }
+}
+
 /// Parses the value of `--name` as a `T`, falling back to `default` when
 /// the flag is absent. A malformed value reports the flag name **and** the
 /// raw text: `invalid value for --n: invalid digit found in string (got
@@ -90,6 +104,20 @@ mod tests {
         assert!(err.contains("\"ten\""), "{err}");
         let err = parse_num_list(&a, "--n", &[0u32]).unwrap_err();
         assert!(err.contains("--n") && err.contains("\"ten\""), "{err}");
+    }
+
+    #[test]
+    fn flag_value_demands_a_value() {
+        let a = args(&["--obs-out", "report.json", "--trace"]);
+        assert_eq!(flag_value(&a, "--obs-out"), Ok(Some("report.json".into())));
+        assert_eq!(flag_value(&a, "--svg"), Ok(None));
+        // Trailing flag with no value.
+        let err = flag_value(&a, "--trace").unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        // Flag followed by another flag: the "value" is not a value.
+        let b = args(&["--obs-out", "--obs"]);
+        let err = flag_value(&b, "--obs-out").unwrap_err();
+        assert!(err.contains("--obs-out"), "{err}");
     }
 
     #[test]

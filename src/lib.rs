@@ -25,8 +25,10 @@
 //!   injection; `docs/engine.md`, `docs/robustness.md`).
 //!
 //! Building with `--features obs` compiles in the algorithm-level
-//! counter/timer layer ([`obs`]); without it every instrumentation macro is
-//! a no-op. See `docs/observability.md`.
+//! counter/timer layer ([`obs`]); `--features trace` compiles in the
+//! structured tracing layer ([`trace`]) behind `pobp sweep --trace FILE`.
+//! Without the features every instrumentation macro is a no-op. See
+//! `docs/observability.md`.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +64,7 @@
 
 pub use pobp_core as core;
 pub use pobp_core::obs;
+pub use pobp_core::trace;
 pub use pobp_engine as engine;
 pub use pobp_forest as forest;
 pub use pobp_instances as instances;

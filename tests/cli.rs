@@ -198,3 +198,86 @@ fn solve_out_then_replay_pipeline() {
     assert!(out.contains("replayed plan"), "{out}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn obs_out_without_a_value_errors() {
+    // `--obs-out` as the last argument used to silently succeed without
+    // writing anything; it must be a loud usage error.
+    let (_, err, ok) = run(&["gen", "--kind", "fig2", "--n", "4", "--obs-out"]);
+    assert!(!ok);
+    assert!(err.contains("--obs-out needs a value"), "{err}");
+    // …and `--obs-out --obs` used to write a file literally named `--obs`.
+    let (_, err, ok) = run(&["gen", "--kind", "fig2", "--n", "4", "--obs-out", "--obs"]);
+    assert!(!ok);
+    assert!(err.contains("--obs-out needs a value"), "{err}");
+}
+
+#[test]
+fn obs_out_unwritable_path_errors() {
+    let (_, err, ok) = run(&[
+        "gen",
+        "--kind",
+        "fig2",
+        "--n",
+        "4",
+        "--obs-out",
+        "/nonexistent-dir-pobp-test/report.json",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("writing"), "{err}");
+}
+
+/// `sweep --trace` / `--trace-logical`: with a `trace` build the files are
+/// written (Chrome JSON + logical text); without, the flags are a loud
+/// feature-gate error — never a silent no-op.
+#[test]
+fn sweep_trace_flags_respect_the_feature_gate() {
+    let dir = std::env::temp_dir().join(format!("pobp-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let chrome = dir.join("trace.json");
+    let logical = dir.join("trace.txt");
+    let args = [
+        "sweep",
+        "--n",
+        "8",
+        "--k",
+        "0,1",
+        "--seeds",
+        "1",
+        "--threads",
+        "2",
+        "--trace",
+        chrome.to_str().unwrap(),
+        "--trace-logical",
+        logical.to_str().unwrap(),
+    ];
+    let (_, err, ok) = run(&args);
+    if pobp::trace::enabled() {
+        assert!(ok, "{err}");
+        let json = std::fs::read_to_string(&chrome).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        let text = std::fs::read_to_string(&logical).unwrap();
+        assert!(text.starts_with("# pobp logical trace v1"), "{text}");
+        assert!(text.contains("begin task"), "{text}");
+    } else {
+        assert!(!ok);
+        assert!(err.contains("--features trace"), "{err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_trace_without_a_value_errors_before_running() {
+    let (_, err, ok) = run(&["sweep", "--n", "8", "--k", "1", "--seeds", "1", "--trace"]);
+    assert!(!ok);
+    assert!(err.contains("--trace needs a value"), "{err}");
+}
+
+#[test]
+fn sweep_progress_renders_a_meter() {
+    let (_, err, ok) = run(&["sweep", "--n", "8,12", "--k", "0,1", "--seeds", "2", "--progress"]);
+    assert!(ok, "{err}");
+    assert!(err.contains("progress:"), "{err}");
+    assert!(err.contains("rows/s"), "{err}");
+    assert!(err.contains("p50"), "{err}");
+}

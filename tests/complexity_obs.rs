@@ -137,6 +137,37 @@ fn laminarize_runs_one_restricted_edf_per_machine() {
     }
 }
 
+/// Schema 2 of the JSON report (docs/observability.md): the report is
+/// version-stamped and every event stat carries `p50`/`p90`/`p99`
+/// histogram quantiles alongside count/sum/min/max.
+#[test]
+fn report_json_carries_schema_2_quantiles() {
+    let (_out, snap) = obs::measure(|| {
+        let (jobs, ids) = workload(120, 13);
+        lsa_cs(&jobs, &ids, 2)
+    });
+    // The measured window recorded at least one event distribution…
+    let (name, ev) = snap
+        .events
+        .iter()
+        .next()
+        .expect("lsa_cs records event stats (e.g. class sizes)");
+    assert!(ev.count > 0, "{name} recorded no samples");
+    // …whose quantiles are monotone and bracketed by min/max (the log₂
+    // histogram guarantees ≤ 2× relative error, so a loose bracket holds).
+    let (p50, p90, p99) = (ev.quantile(0.50), ev.quantile(0.90), ev.quantile(0.99));
+    assert!(p50 <= p90 && p90 <= p99, "{name}: quantiles not monotone");
+    assert!(p99 <= 2.0 * ev.max as f64, "{name}: p99 {p99} above bucket ceiling");
+    assert!(p50 >= ev.min as f64 / 2.0, "{name}: p50 {p50} below bucket floor");
+    // The serialized snapshot is version-stamped and carries the fields.
+    let json = snap.to_json();
+    assert!(json.contains(&format!("\"schema\": {}", obs::SCHEMA_VERSION)));
+    assert_eq!(obs::SCHEMA_VERSION, 2);
+    for key in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+        assert!(json.contains(key), "report missing {key}: {json}");
+    }
+}
+
 /// The Theorem 4.2 reduction runs its four stages exactly once per call,
 /// and its laminarization stage inherits the one-EDF-per-machine bound.
 #[test]
