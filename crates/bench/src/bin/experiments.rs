@@ -17,11 +17,15 @@
 //! pool size (default: hardware parallelism). Results are deterministic —
 //! identical tables — for every thread count (`docs/engine.md`).
 //!
-//! Two extra modes ride along:
+//! Three extra modes ride along:
 //!
-//! * `bench-snapshot` (selector, excluded from `all`) re-times the E4 grid
-//!   single-threaded and writes the schema-versioned median-wall-clock
-//!   snapshot to `BENCH_e4.json` (`--bench-out FILE` overrides);
+//! * `bench-snapshot` (selector, excluded from `all`) re-times the
+//!   benchmark grid (`reduction`, `lsa`, `tm`) single-threaded and writes
+//!   the schema-versioned median-wall-clock snapshot to `BENCH_e5.json`
+//!   (`--bench-out FILE` overrides);
+//! * `bench-compare --baseline A.json --candidate B.json` diffs two
+//!   snapshots cell by cell and exits nonzero when any cell regressed by
+//!   more than `--tolerance PCT` (default 25%) — the CI perf gate;
 //! * `--trace FILE` (needs a `--features trace` build) writes the Chrome
 //!   trace-event JSON of everything the harness ran; see
 //!   `docs/observability.md`.
@@ -38,6 +42,7 @@ use pobp_sched::{
     cs_by_density, cs_by_value, edf_feasible, edf_schedule, edf_truncate, global_edf,
     greedy_nonpreemptive_by_value, greedy_unbounded, is_laminar, iterative_multi_machine,
     laminarize, lsa, lsa_cs, opt_nonpreemptive, opt_unbounded, reduce_to_k_bounded, schedule_k0,
+    KbasSolver, ReductionPlan, SolveWorkspace,
 };
 
 /// One harness entry: selector name, table title, runner.
@@ -69,7 +74,8 @@ fn main() {
     let is_flag_or_value = |i: usize| {
         args[i].starts_with("--")
             || (i > 0
-                && ["--obs-out", "--threads", "--trace", "--bench-out"]
+                && ["--obs-out", "--threads", "--trace", "--bench-out", "--baseline",
+                    "--candidate", "--tolerance"]
                     .contains(&args[i - 1].as_str()))
     };
     let selectors: Vec<&String> =
@@ -98,9 +104,28 @@ fn main() {
     if selectors.iter().any(|s| *s == "bench-snapshot") {
         let out = flag_value(&args, "--bench-out")
             .unwrap_or_else(|e| die(e))
-            .unwrap_or_else(|| "BENCH_e4.json".into());
+            .unwrap_or_else(|| "BENCH_e5.json".into());
         if let Err(e) = bench_snapshot(&out) {
             die(e);
+        }
+    }
+    // `bench-compare` diffs two snapshots cell by cell and exits nonzero on
+    // a regression beyond tolerance — the CI perf gate.
+    if selectors.iter().any(|s| *s == "bench-compare") {
+        let baseline = flag_value(&args, "--baseline")
+            .unwrap_or_else(|e| die(e))
+            .unwrap_or_else(|| die("bench-compare needs --baseline FILE"));
+        let candidate = flag_value(&args, "--candidate")
+            .unwrap_or_else(|e| die(e))
+            .unwrap_or_else(|| die("bench-compare needs --candidate FILE"));
+        let tolerance: f64 = flag_value(&args, "--tolerance")
+            .unwrap_or_else(|e| die(e))
+            .map(|s| s.parse().unwrap_or_else(|e| die(format!("--tolerance: {e}"))))
+            .unwrap_or(25.0);
+        match bench_compare(&baseline, &candidate, tolerance) {
+            Ok(true) => {}
+            Ok(false) => std::process::exit(1),
+            Err(e) => die(e),
         }
     }
     for (name, title, f) in experiments {
@@ -132,16 +157,23 @@ fn main() {
 }
 
 
-/// Schema version of the `BENCH_e4.json` snapshot — bump on any shape
+/// Schema version of the `BENCH_*.json` snapshot — bump on any shape
 /// change so downstream diffing can refuse to compare across versions.
-const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Schema 2 adds the top-level `algs` list and a per-cell `alg` field.
+const BENCH_SCHEMA_VERSION: u32 = 2;
 
-/// `bench-snapshot`: re-times the E4 reduction grid single-threaded (no
-/// cache, no degradation — pure solver wall-clock) and writes the median
-/// per grid cell to `path` as schema-versioned JSON. Medians over 5 seeds
-/// keep the snapshot robust to one-off scheduler noise; the snapshot is a
-/// coarse regression tripwire, not a Criterion replacement (those benches
-/// live in `crates/bench/benches/`).
+/// Algorithms timed by `bench-snapshot`.
+const BENCH_ALGS: [&str; 3] = ["reduction", "lsa", "tm"];
+
+/// `bench-snapshot`: re-times the benchmark grid single-threaded (no cache,
+/// no degradation — pure solver wall-clock) and writes the median per grid
+/// cell to `path` as schema-versioned JSON. `reduction` and `lsa` run full
+/// engine tasks on the E4 mixed workload; `tm` times the bare k-BAS dynamic
+/// program on the schedule forest derived from the same workload (the
+/// forest build is outside the timed region). Medians over 5 seeds keep the
+/// snapshot robust to one-off scheduler noise; the snapshot is a coarse
+/// regression tripwire, not a Criterion replacement (those benches live in
+/// `crates/bench/benches/`).
 fn bench_snapshot(path: &str) -> Result<(), String> {
     const NS: [usize; 3] = [20, 40, 80];
     const KS: [u32; 4] = [0, 1, 2, 4];
@@ -153,37 +185,154 @@ fn bench_snapshot(path: &str) -> Result<(), String> {
         ..EngineConfig::default()
     });
     let mut cells = Vec::new();
-    for &n in &NS {
-        for &k in &KS {
-            let mut runs_ns: Vec<u128> = (0..SEEDS)
-                .map(|seed| {
-                    let task = SolveTask::new(mixed_workload(n, seed).0, k, Algo::Reduction);
-                    let t0 = std::time::Instant::now();
-                    let batch = engine.run_batch(std::slice::from_ref(&task));
-                    let dt = t0.elapsed().as_nanos();
-                    assert!(
-                        batch.reports[0].result.output().is_some(),
-                        "bench-snapshot cell n={n} k={k} seed={seed} did not complete"
-                    );
-                    dt
-                })
-                .collect();
-            runs_ns.sort_unstable();
-            let median_ns = runs_ns[runs_ns.len() / 2];
-            eprintln!("bench-snapshot: n={n} k={k} median {median_ns} ns");
-            cells.push(format!(
-                "    {{\"n\": {n}, \"k\": {k}, \"median_ns\": {median_ns}}}"
-            ));
+    for alg in BENCH_ALGS {
+        for &n in &NS {
+            for &k in &KS {
+                let mut runs_ns: Vec<u128> = (0..SEEDS)
+                    .map(|seed| match alg {
+                        "reduction" | "lsa" => {
+                            let engine_alg =
+                                if alg == "reduction" { Algo::Reduction } else { Algo::LsaCs };
+                            let task = SolveTask::new(mixed_workload(n, seed).0, k, engine_alg);
+                            let t0 = std::time::Instant::now();
+                            let batch = engine.run_batch(std::slice::from_ref(&task));
+                            let dt = t0.elapsed().as_nanos();
+                            assert!(
+                                batch.reports[0].result.output().is_some(),
+                                "bench-snapshot cell alg={alg} n={n} k={k} seed={seed} \
+                                 did not complete"
+                            );
+                            dt
+                        }
+                        "tm" => {
+                            // Forest build (greedy reference → laminarize →
+                            // schedule forest) stays outside the timer.
+                            let (jobs, ids) = mixed_workload(n, seed);
+                            let inf = greedy_unbounded(&jobs, &ids);
+                            let plan = ReductionPlan::new(&jobs, &inf.schedule)
+                                .expect("greedy reference is feasible");
+                            let t0 = std::time::Instant::now();
+                            let res = tm(&plan.forest.forest, k);
+                            let dt = t0.elapsed().as_nanos();
+                            assert!(res.value >= 0.0);
+                            dt
+                        }
+                        _ => unreachable!("unknown bench alg"),
+                    })
+                    .collect();
+                runs_ns.sort_unstable();
+                let median_ns = runs_ns[runs_ns.len() / 2];
+                eprintln!("bench-snapshot: alg={alg} n={n} k={k} median {median_ns} ns");
+                cells.push(format!(
+                    "    {{\"alg\": \"{alg}\", \"n\": {n}, \"k\": {k}, \"median_ns\": {median_ns}}}"
+                ));
+            }
         }
     }
+    let algs_json: Vec<String> = BENCH_ALGS.iter().map(|a| format!("\"{a}\"")).collect();
     let json = format!(
-        "{{\n  \"schema\": {BENCH_SCHEMA_VERSION},\n  \"experiment\": \"e4-bench\",\n  \
-         \"alg\": \"reduction\",\n  \"threads\": 1,\n  \"seeds\": {SEEDS},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": {BENCH_SCHEMA_VERSION},\n  \"experiment\": \"bench\",\n  \
+         \"algs\": [{}],\n  \"threads\": 1,\n  \"seeds\": {SEEDS},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        algs_json.join(", "),
         cells.join(",\n")
     );
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     println!("wrote bench snapshot to {path}");
     Ok(())
+}
+
+/// One parsed snapshot cell: `(alg, n, k, median_ns)`.
+type BenchCell = (String, u64, u64, u128);
+
+/// Parses a `BENCH_*.json` snapshot (the exact format `bench_snapshot`
+/// writes — one cell object per line). Accepts schema 1 (no per-cell alg:
+/// inherits the file-level `"alg"`) and schema 2.
+fn parse_bench_snapshot(path: &str) -> Result<Vec<BenchCell>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let field_u = |line: &str, key: &str| -> Option<u128> {
+        let at = line.find(&format!("\"{key}\""))?;
+        let rest = &line[at..];
+        let digits: String =
+            rest.chars().skip_while(|c| !c.is_ascii_digit()).take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    };
+    let field_s = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(&format!("\"{key}\""))?;
+        let rest = &line[at + key.len() + 2..];
+        let open = rest.find('"')?;
+        let rest = &rest[open + 1..];
+        Some(rest[..rest.find('"')?].to_string())
+    };
+    let schema = field_u(&text, "schema").ok_or_else(|| format!("{path}: no \"schema\" field"))?;
+    if schema > BENCH_SCHEMA_VERSION as u128 {
+        return Err(format!(
+            "{path}: snapshot schema {schema} is newer than supported {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    // Schema 1 stamps one file-level alg; cells inherit it.
+    let file_alg = field_s(text.lines().find(|l| l.contains("\"alg\"")).unwrap_or(""), "alg");
+    let mut cells = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"median_ns\"") {
+            continue;
+        }
+        let alg = field_s(line, "alg")
+            .or_else(|| file_alg.clone())
+            .ok_or_else(|| format!("{path}: cell without alg: {line}"))?;
+        let n =
+            field_u(line, "n").ok_or_else(|| format!("{path}: cell without n: {line}"))? as u64;
+        let k = field_u(line, "k").ok_or_else(|| format!("{path}: cell without k: {line}"))? as u64;
+        let median = field_u(line, "median_ns")
+            .ok_or_else(|| format!("{path}: cell without median_ns: {line}"))?;
+        cells.push((alg, n, k, median));
+    }
+    if cells.is_empty() {
+        return Err(format!("{path}: no cells found"));
+    }
+    Ok(cells)
+}
+
+/// `bench-compare`: prints per-cell `candidate / baseline` wall-clock
+/// ratios for every `(alg, n, k)` cell present in both snapshots and
+/// returns `Ok(false)` when any cell regressed by more than `tolerance`
+/// percent — the CI perf gate. The tolerance (default 25%) absorbs shared
+/// runner noise; genuine algorithmic regressions blow well past it.
+fn bench_compare(baseline: &str, candidate: &str, tolerance: f64) -> Result<bool, String> {
+    let base = parse_bench_snapshot(baseline)?;
+    let cand = parse_bench_snapshot(candidate)?;
+    println!("bench-compare: {candidate} vs {baseline} (tolerance {tolerance}%)\n");
+    println!("       alg |     n | k |   baseline ns |  candidate ns | ratio | status");
+    println!("-----------+-------+---+---------------+---------------+-------+-------");
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (alg, n, k, base_ns) in &base {
+        let Some((_, _, _, cand_ns)) =
+            cand.iter().find(|(a, cn, ck, _)| a == alg && cn == n && ck == k)
+        else {
+            println!("{alg:>10} | {n:5} | {k} | {base_ns:13} |       missing |     - | SKIP");
+            continue;
+        };
+        compared += 1;
+        let ratio = *cand_ns as f64 / (*base_ns).max(1) as f64;
+        let status = if ratio > 1.0 + tolerance / 100.0 {
+            regressions += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 - tolerance / 100.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("{alg:>10} | {n:5} | {k} | {base_ns:13} | {cand_ns:13} | {ratio:5.2} | {status}");
+    }
+    if compared == 0 {
+        return Err("no comparable cells between the two snapshots".into());
+    }
+    if regressions > 0 {
+        println!("\nbench-compare: {regressions} cell(s) regressed beyond {tolerance}%");
+        return Ok(false);
+    }
+    println!("\nbench-compare: no regression beyond {tolerance}% across {compared} cells");
+    Ok(true)
 }
 
 /// Writes the Chrome trace-event JSON of everything the harness ran.
@@ -586,17 +735,25 @@ fn e10_ablations() {
     println!("\n(c) reduction (Thm 4.2) vs EDF-truncate baseline (n = 400 mixed)\n");
     println!(" k | reduction | EDF-truncate | reduction wins by");
     println!("---+-----------+--------------+------------------");
+    // The greedy reference and the laminarize → schedule-forest prefix are
+    // k-independent: build one ReductionPlan per seed, reused across the
+    // k-loop (only the k-BAS DP + reconstruction re-run per k).
+    let mut ws = SolveWorkspace::new();
+    let per_seed: Vec<(JobSet, Vec<JobId>, ReductionPlan)> = (0..5u64)
+        .map(|seed| {
+            let (jobs, ids) = mixed_workload(400, seed);
+            let inf = greedy_unbounded(&jobs, &ids);
+            let plan = ReductionPlan::new_ws(&jobs, &inf.schedule, &mut ws)
+                .expect("greedy reference is feasible");
+            (jobs, ids, plan)
+        })
+        .collect();
     for k in 0..4u32 {
         let mut rv = 0.0;
         let mut tv = 0.0;
-        for seed in 0..5u64 {
-            let (jobs, ids) = mixed_workload(400, seed);
-            let inf = greedy_unbounded(&jobs, &ids);
-            rv += reduce_to_k_bounded(&jobs, &inf.schedule, k)
-                .unwrap()
-                .schedule
-                .value(&jobs);
-            tv += edf_truncate(&jobs, &ids, k).value(&jobs);
+        for (jobs, ids, plan) in &per_seed {
+            rv += plan.solve_ws(jobs, k, KbasSolver::Tm, &mut ws).schedule.value(jobs);
+            tv += edf_truncate(jobs, ids, k).value(jobs);
         }
         println!(" {k} | {rv:9.0} | {tv:12.0} | {:16.2}×", rv / tv);
     }
@@ -686,8 +843,11 @@ fn e12_switch_cost() {
     println!("---+----------+------------------+-----------------");
     let (jobs, ids) = mixed_workload(200, 4);
     let inf = greedy_unbounded(&jobs, &ids).schedule;
+    // k-independent prefix hoisted: one plan, four k-BAS solves.
+    let plan = ReductionPlan::new(&jobs, &inf).expect("greedy reference is feasible");
+    let mut ws = SolveWorkspace::new();
     for k in 0..4u32 {
-        let red = reduce_to_k_bounded(&jobs, &inf, k).unwrap().schedule;
+        let red = plan.solve_ws(&jobs, k, KbasSolver::Tm, &mut ws).schedule;
         println!(
             " {k} | {:8} | {:16.3} | {:15.3}",
             pobp_sim::switch_count(&red),

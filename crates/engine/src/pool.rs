@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use pobp_core::obs::LogHistogram;
 use pobp_core::{obs_count, obs_event, obs_span, trace, trace_event};
+use pobp_sched::SolveWorkspace;
 
 use crate::cache::{instance_hash, CachedResult, ResultCache};
 use crate::cancel::{CancelToken, StopReason, TaskCtx};
@@ -261,16 +262,26 @@ impl Engine {
                 .map(|_| {
                     s.spawn(|| {
                         let mut busy = Duration::ZERO;
+                        // One scratch workspace per worker, reused across
+                        // every task this worker claims: steady-state solves
+                        // allocate only their outputs.
+                        let mut ws = SolveWorkspace::new();
+                        let mut claimed = 0u64;
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
+                            claimed += 1;
+                            if claimed > 1 {
+                                obs_count!("engine.ws.reuses");
+                            }
                             obs_event!("engine.queue.depth", (n - i - 1) as u64);
                             let start = Instant::now();
                             let report = {
                                 let _task = trace::task_scope(i as u64, &tasks[i].label);
-                                let report = self.run_one(i, &tasks[i], &stats, &inflight);
+                                let report =
+                                    self.run_one(i, &tasks[i], &stats, &inflight, &mut ws);
                                 trace_event!("emit", text: report.result.status());
                                 report
                             };
@@ -281,6 +292,7 @@ impl Engine {
                             slots.lock().unwrap()[i] = Some(report);
                         }
                         obs_event!("engine.worker.busy_us", busy.as_micros() as u64);
+                        obs_event!("engine.ws.scratch_bytes", ws.scratch_bytes() as u64);
                     })
                 })
                 .collect();
@@ -311,6 +323,7 @@ impl Engine {
         task: &SolveTask,
         stats: &StatsCell,
         inflight: &Mutex<HashMap<usize, (Instant, CancelToken)>>,
+        ws: &mut SolveWorkspace,
     ) -> TaskReport {
         let cache = self.cfg.use_cache.then_some(&*self.cache);
         let inst = instance_hash(&task.instance);
@@ -381,7 +394,9 @@ impl Engine {
             attempts += 1;
             // The attempt span lives inside the catch_unwind so its end
             // event fires during unwinding — panicking attempts still close.
-            let attempt = || {
+            // The workspace is safe to reuse after an unwind: every `*_ws`
+            // entry point resets its buffers at entry.
+            let attempt = |ws: &mut SolveWorkspace| {
                 obs_span!("attempt", {
                     #[cfg(feature = "chaos")]
                     if let Some(ch) = &ctx.chaos {
@@ -396,10 +411,10 @@ impl Engine {
                         // The `panic`/`flaky` sites, inside catch_unwind.
                         ch.plan.inject_panic(ch.key, attempts);
                     }
-                    solve_task(task, &ctx, cache)
+                    solve_task(task, &ctx, cache, ws)
                 })
             };
-            match catch_unwind(AssertUnwindSafe(attempt)) {
+            match catch_unwind(AssertUnwindSafe(|| attempt(&mut *ws))) {
                 Ok(Ok(solved)) => {
                     obs_count!("engine.tasks.run");
                     obs_count!("engine.cert.ok");
@@ -432,7 +447,7 @@ impl Engine {
                 Ok(Err(SolveFailure::Stopped(StopReason::DeadlineExceeded))) => {
                     trace_event!("stop.deadline");
                     if let Some(rescued) =
-                        self.try_degrade(task, DegradeCause::DeadlineExceeded, stats)
+                        self.try_degrade(task, DegradeCause::DeadlineExceeded, stats, ws)
                     {
                         break rescued;
                     }
@@ -461,7 +476,7 @@ impl Engine {
                         continue;
                     }
                     if let Some(rescued) =
-                        self.try_degrade(task, DegradeCause::RetriesExhausted, stats)
+                        self.try_degrade(task, DegradeCause::RetriesExhausted, stats, ws)
                     {
                         break rescued;
                     }
@@ -489,6 +504,7 @@ impl Engine {
         task: &SolveTask,
         cause: DegradeCause,
         stats: &StatsCell,
+        ws: &mut SolveWorkspace,
     ) -> Option<TaskResult> {
         if !self.cfg.degrade || task.algo == Algo::PanicForTest {
             return None;
@@ -515,7 +531,7 @@ impl Engine {
         // unrelated duplicate of the fallback task pick up accounting
         // differences, and caching under the original key would be a lie.
         obs_span!("degrade", {
-            match catch_unwind(AssertUnwindSafe(|| solve_task(&fb_task, &ctx, None))) {
+            match catch_unwind(AssertUnwindSafe(|| solve_task(&fb_task, &ctx, None, ws))) {
                 Ok(Ok(solved)) => {
                     obs_count!("engine.degrade.rescued");
                     obs_count!("engine.cert.ok");

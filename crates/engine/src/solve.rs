@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use pobp_core::{obs_count, obs_time, schedule_stats, trace_event, JobId, Schedule};
 use pobp_sched::{
-    combined_from_scratch, greedy_unbounded, iterative_multi_machine, k_preemption_combined,
-    lsa_cs, opt_unbounded, reduce_to_k_bounded, schedule_k0,
+    combined_from_scratch, greedy_unbounded_ws, iterative_multi_machine, k_preemption_combined,
+    lsa_cs, opt_unbounded, reduce_to_k_bounded_ws, schedule_k0, KbasSolver, SolveWorkspace,
 };
 
 use crate::cache::{instance_hash, RefSolution, ResultCache};
@@ -57,6 +57,7 @@ fn reference(
     task: &SolveTask,
     ids: &[JobId],
     cache: Option<&ResultCache>,
+    ws: &mut SolveWorkspace,
 ) -> (Arc<RefSolution>, bool) {
     let inst = instance_hash(&task.instance);
     if let Some(c) = cache {
@@ -73,7 +74,7 @@ fn reference(
             let opt = opt_unbounded(&task.instance, ids);
             RefSolution { schedule: opt.schedule, value: opt.value }
         } else {
-            let inf = greedy_unbounded(&task.instance, ids);
+            let inf = greedy_unbounded_ws(&task.instance, ids, ws);
             let value = inf.schedule.value(&task.instance);
             RefSolution { schedule: inf.schedule, value }
         }
@@ -94,6 +95,7 @@ fn bounded_stage(
     task: &SolveTask,
     ids: &[JobId],
     reference: &Schedule,
+    ws: &mut SolveWorkspace,
 ) -> (Schedule, u32, Option<(f64, f64)>) {
     let jobs = &task.instance;
     let k = task.k;
@@ -102,8 +104,8 @@ fn bounded_stage(
         // greedy reference over the residual job set.
         let schedule = match task.algo {
             Algo::Reduction => iterative_multi_machine(jobs, ids, task.machines, |js, rem| {
-                let inf = greedy_unbounded(js, rem);
-                reduce_to_k_bounded(js, &inf.schedule, k)
+                let inf = greedy_unbounded_ws(js, rem, ws);
+                reduce_to_k_bounded_ws(js, &inf.schedule, k, KbasSolver::Tm, ws)
                     .expect("greedy reference is feasible")
                     .schedule
             }),
@@ -123,7 +125,7 @@ fn bounded_stage(
     }
     match task.algo {
         Algo::Reduction => {
-            let red = reduce_to_k_bounded(jobs, reference, k)
+            let red = reduce_to_k_bounded_ws(jobs, reference, k, KbasSolver::Tm, ws)
                 .expect("reference schedule is feasible");
             (red.schedule, k, None)
         }
@@ -146,12 +148,13 @@ pub(crate) fn solve_task(
     task: &SolveTask,
     ctx: &TaskCtx,
     cache: Option<&ResultCache>,
+    ws: &mut SolveWorkspace,
 ) -> Result<Solved, SolveFailure> {
     if let Some(stop) = ctx.should_stop() {
         return Err(stop.into());
     }
     let ids: Vec<JobId> = task.instance.ids().collect();
-    let (reference, ref_hit) = reference(task, &ids, cache);
+    let (reference, ref_hit) = reference(task, &ids, cache, ws);
     if let Some(stop) = ctx.should_stop() {
         return Err(stop.into());
     }
@@ -165,8 +168,10 @@ pub(crate) fn solve_task(
             return Err(StopReason::DeadlineExceeded.into());
         }
     }
-    let (schedule, eff_k, branch_values) =
-        obs_time!("engine.solve.time.bounded", bounded_stage(task, &ids, &reference.schedule));
+    let (schedule, eff_k, branch_values) = obs_time!(
+        "engine.solve.time.bounded",
+        bounded_stage(task, &ids, &reference.schedule, ws)
+    );
     let stats = schedule_stats(&task.instance, &schedule);
     let output = SolveOutput {
         alg_value: stats.value,

@@ -6,8 +6,18 @@
 //! and — critically — *iterative* traversals that survive the million-node,
 //! depth-10^6 path graphs used in the loss-factor experiments, where a
 //! recursive walk would overflow the stack.
+//!
+//! **Storage.** Child lists live in a CSR (compressed sparse row) layout:
+//! one flat `Vec<NodeId>` plus an offset table, so `children(u)` is a slice
+//! into a single allocation instead of one heap `Vec` per node. The CSR is
+//! derived from the parent array on first query (*sealing* the forest);
+//! construction via [`Forest::add_root`]/[`Forest::add_child`] must finish
+//! before the first child query — mutating a sealed forest panics. Both
+//! construction paths append nodes in ascending id order, so the CSR is a
+//! counting sort over the parent array and preserves insertion order.
 
 use pobp_core::Value;
+use std::sync::OnceLock;
 
 /// Identifier of a node inside a [`Forest`] (its index).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -25,13 +35,71 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// The CSR child table: `idx[off[u] .. off[u + 1]]` are the children of
+/// `u`, in insertion order. Derived state — rebuilt from the parent array.
+#[derive(Debug, Default)]
+struct Csr {
+    off: Vec<u32>,
+    idx: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Counting sort over the parent array. Children end up in ascending
+    /// id order, which *is* insertion order: both construction paths
+    /// (`add_child`, `from_parents`) hand out ids ascending.
+    fn build(parent: &[Option<NodeId>]) -> Csr {
+        let n = parent.len();
+        assert!(n < u32::MAX as usize, "forest too large for CSR offsets");
+        let mut off = vec![0u32; n + 1];
+        for p in parent.iter().flatten() {
+            off[p.0 + 1] += 1;
+        }
+        for i in 0..n {
+            off[i + 1] += off[i];
+        }
+        let mut idx = vec![NodeId(0); off[n] as usize];
+        let mut cursor = off.clone();
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                let c = &mut cursor[p.0];
+                idx[*c as usize] = NodeId(i);
+                *c += 1;
+            }
+        }
+        Csr { off, idx }
+    }
+}
+
 /// A rooted forest with positive node values.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct Forest {
     values: Vec<Value>,
     parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
     roots: Vec<NodeId>,
+    /// Lazily-built CSR child table; materializing it seals the forest.
+    csr: OnceLock<Csr>,
+}
+
+impl Clone for Forest {
+    fn clone(&self) -> Self {
+        // The CSR is derived state — cloning re-derives it on demand
+        // instead of copying, and the clone starts out unsealed.
+        Forest {
+            values: self.values.clone(),
+            parent: self.parent.clone(),
+            roots: self.roots.clone(),
+            csr: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Forest {
+    fn eq(&self, other: &Self) -> bool {
+        // Sealing state and the derived CSR don't participate in equality.
+        self.values == other.values
+            && self.parent == other.parent
+            && self.roots == other.roots
+    }
 }
 
 impl Forest {
@@ -40,17 +108,27 @@ impl Forest {
         Forest::default()
     }
 
+    /// Panics when the forest is already sealed (CSR built): its child
+    /// table would go stale.
+    #[inline]
+    fn assert_unsealed(&self) {
+        assert!(
+            self.csr.get().is_none(),
+            "forest is sealed (children were queried); mutation after sealing is a bug"
+        );
+    }
+
     /// Adds a new tree root with the given value, returning its id.
     ///
     /// # Panics
     /// Panics if `value` is not strictly positive (Definition 3.3 assumes
-    /// `val : V → R+`).
+    /// `val : V → R+`), or if the forest is already [sealed](Self::seal).
     pub fn add_root(&mut self, value: Value) -> NodeId {
         assert!(value > 0.0, "node values must be positive, got {value}");
+        self.assert_unsealed();
         let id = NodeId(self.values.len());
         self.values.push(value);
         self.parent.push(None);
-        self.children.push(Vec::new());
         self.roots.push(id);
         id
     }
@@ -58,20 +136,21 @@ impl Forest {
     /// Adds a child of `parent` with the given value, returning its id.
     ///
     /// # Panics
-    /// Panics on a non-positive value or an out-of-range parent.
+    /// Panics on a non-positive value, an out-of-range parent, or a
+    /// [sealed](Self::seal) forest.
     pub fn add_child(&mut self, parent: NodeId, value: Value) -> NodeId {
         assert!(value > 0.0, "node values must be positive, got {value}");
         assert!(parent.0 < self.values.len(), "unknown parent {parent}");
+        self.assert_unsealed();
         let id = NodeId(self.values.len());
         self.values.push(value);
         self.parent.push(Some(parent));
-        self.children.push(Vec::new());
-        self.children[parent.0].push(id);
         id
     }
 
     /// Builds a forest from parallel `values` / `parent` arrays
-    /// (`parent[i] = None` for roots). Children keep index order.
+    /// (`parent[i] = None` for roots). Children keep index order. The
+    /// result is already sealed (the cycle check walks the child table).
     ///
     /// # Panics
     /// Panics on non-positive values, out-of-range parents, or cycles.
@@ -81,28 +160,42 @@ impl Forest {
         for &v in &values {
             assert!(v > 0.0, "node values must be positive, got {v}");
         }
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut roots = Vec::new();
         for (i, &p) in parent.iter().enumerate() {
             match p {
-                Some(p) => {
-                    assert!(p < n, "parent index {p} out of range");
-                    children[p].push(NodeId(i));
-                }
+                Some(p) => assert!(p < n, "parent index {p} out of range"),
                 None => roots.push(NodeId(i)),
             }
         }
         let forest = Forest {
             values,
             parent: parent.iter().map(|p| p.map(NodeId)).collect(),
-            children,
             roots,
+            csr: OnceLock::new(),
         };
         assert!(
             forest.is_acyclic(),
             "parent array contains a cycle (not a forest)"
         );
         forest
+    }
+
+    /// The CSR child table, built on first use (sealing the forest).
+    #[inline]
+    fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| Csr::build(&self.parent))
+    }
+
+    /// Builds the CSR child table now. Queries do this implicitly; an
+    /// explicit seal documents the construction/query phase boundary and
+    /// makes later mutation panic deterministically.
+    pub fn seal(&mut self) {
+        let _ = self.csr();
+    }
+
+    /// Whether the CSR child table has been materialized.
+    pub fn is_sealed(&self) -> bool {
+        self.csr.get().is_some()
     }
 
     fn is_acyclic(&self) -> bool {
@@ -115,7 +208,7 @@ impl Forest {
                 return false; // duplicate child edge
             }
             count += 1;
-            stack.extend(self.children[u.0].iter().copied());
+            stack.extend(self.children(u).iter().copied());
         }
         count == self.len()
     }
@@ -145,21 +238,43 @@ impl Forest {
     }
 
     /// The children of `u`, in insertion order (`C_T(u)` of §3.1).
+    ///
+    /// A slice into the flat CSR child table; the first call seals the
+    /// forest against further mutation.
     #[inline]
     pub fn children(&self, u: NodeId) -> &[NodeId] {
-        &self.children[u.0]
+        let csr = self.csr();
+        &csr.idx[csr.off[u.0] as usize..csr.off[u.0 + 1] as usize]
+    }
+
+    /// The range of `u`'s children inside the flat CSR child table.
+    ///
+    /// Lets callers lay out per-child side tables in one flat allocation
+    /// (slot `children_range(u)` holds data for `children(u)`, aligned
+    /// index-for-index). Seals the forest like [`Self::children`].
+    #[inline]
+    pub fn children_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        let csr = self.csr();
+        csr.off[u.0] as usize..csr.off[u.0 + 1] as usize
+    }
+
+    /// Total number of parent→child edges (`len` of the flat child table).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.csr().idx.len()
     }
 
     /// Degree of `u`: its number of children (`deg_T(u)` of §3.1).
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.children[u.0].len()
+        let csr = self.csr();
+        (csr.off[u.0 + 1] - csr.off[u.0]) as usize
     }
 
     /// Whether `u` has no children.
     #[inline]
     pub fn is_leaf(&self, u: NodeId) -> bool {
-        self.children[u.0].is_empty()
+        self.degree(u) == 0
     }
 
     /// The roots of the forest, in insertion order.
@@ -196,7 +311,7 @@ impl Forest {
         let mut stack: Vec<NodeId> = self.roots.iter().rev().copied().collect();
         while let Some(u) = stack.pop() {
             order.push(u);
-            stack.extend(self.children[u.0].iter().rev().copied());
+            stack.extend(self.children(u).iter().rev().copied());
         }
         debug_assert_eq!(order.len(), self.len());
         order
@@ -262,7 +377,8 @@ impl Forest {
 
     /// The maximal node degree.
     pub fn max_degree(&self) -> usize {
-        self.children.iter().map(Vec::len).max().unwrap_or(0)
+        let csr = self.csr();
+        csr.off.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
     }
 }
 
@@ -398,6 +514,51 @@ mod tests {
         let (f, _) = sample();
         assert_eq!(f.masked_value(&[true, false, true, false, false]), 13.0);
         assert_eq!(f.masked_value(&[false; 5]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn add_child_after_seal_panics() {
+        let mut f = Forest::new();
+        let r = f.add_root(1.0);
+        assert_eq!(f.children(r), &[] as &[NodeId]); // seals
+        f.add_child(r, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn add_root_after_seal_panics() {
+        let mut f = Forest::new();
+        f.add_root(1.0);
+        f.seal();
+        f.add_root(1.0);
+    }
+
+    #[test]
+    fn clone_of_sealed_forest_is_mutable() {
+        let mut f = Forest::new();
+        let r = f.add_root(1.0);
+        f.seal();
+        assert!(f.is_sealed());
+        let mut g = f.clone();
+        assert!(!g.is_sealed());
+        let c = g.add_child(r, 2.0);
+        assert_eq!(g.children(r), &[c]);
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn children_range_matches_children() {
+        let (f, ids) = sample();
+        let csr_flat: Vec<NodeId> = f
+            .ids()
+            .flat_map(|u| f.children(u).iter().copied())
+            .collect();
+        assert_eq!(csr_flat.len(), f.edge_count());
+        for u in ids {
+            let r = f.children_range(u);
+            assert_eq!(&csr_flat[r], f.children(u));
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::arena::{Forest, NodeId};
 use crate::kbas::KeepSet;
+use crate::workspace::Workspace;
 use pobp_core::{obs_count, Value};
 
 /// One iteration's output: a k-BAS of the original forest (Lemma 3.16).
@@ -78,53 +79,65 @@ impl ContractionResult {
 /// Panics on an empty forest (the paper's algorithm loops `while T ≠ ∅`; an
 /// empty input has no well-defined best level).
 pub fn levelled_contraction(forest: &Forest, k: u32) -> ContractionResult {
+    levelled_contraction_ws(forest, k, &mut Workspace::new())
+}
+
+/// [`levelled_contraction`] with caller-provided scratch memory.
+///
+/// Identical output; the traversal order, liveness/contractibility masks
+/// and DFS stack come from `ws` so steady-state calls allocate only the
+/// [`ContractionResult`] itself.
+///
+/// # Panics
+/// Panics on an empty forest, like [`levelled_contraction`].
+pub fn levelled_contraction_ws(forest: &Forest, k: u32, ws: &mut Workspace) -> ContractionResult {
     assert!(!forest.is_empty(), "levelled_contraction needs a non-empty forest");
     obs_count!("forest.contraction.runs");
     let n = forest.len();
     let k = k as usize;
-    let order = forest.bottom_up_order();
-    let mut alive = vec![true; n];
+    ws.fill_top_down(forest);
     let mut alive_count = n;
     let mut levels = Vec::new();
 
-    // Per-iteration scratch, reused.
-    let mut contractible = vec![false; n];
-    let mut live_children = vec![0usize; n];
-    let mut live_contractible_children = vec![0usize; n];
+    // Per-iteration scratch, reused: `alive` + `mark` (contractibility).
+    ws.alive.clear();
+    ws.alive.resize(n, true);
+    ws.mark.clear();
+    ws.mark.resize(n, false);
 
     while alive_count > 0 {
         obs_count!("forest.contraction.levels");
         // MaxContract: mark contractibility bottom-up over live nodes.
-        for &u in &order {
+        for i in (0..n).rev() {
+            let u = ws.order[i];
             obs_count!("forest.contraction.node_scans");
-            if !alive[u.0] {
+            if !ws.alive[u.0] {
                 continue;
             }
             let mut lc = 0usize;
             let mut lcc = 0usize;
             for &c in forest.children(u) {
-                if alive[c.0] {
+                if ws.alive[c.0] {
                     lc += 1;
-                    if contractible[c.0] {
+                    if ws.mark[c.0] {
                         lcc += 1;
                     }
                 }
             }
-            live_children[u.0] = lc;
-            live_contractible_children[u.0] = lcc;
-            contractible[u.0] = lc <= k && lcc == lc;
+            ws.mark[u.0] = lc <= k && lcc == lc;
         }
         // The level's roots: contractible nodes that are maximal — their
         // parent is dead, absent, or not contractible. These are exactly
         // the leaves of the tree after MaxContract.
         let mut roots = Vec::new();
-        for &u in &order {
-            if !alive[u.0] || !contractible[u.0] {
+        for i in (0..n).rev() {
+            let u = ws.order[i];
+            if !ws.alive[u.0] || !ws.mark[u.0] {
                 continue;
             }
             let is_max = match forest.parent(u) {
                 None => true,
-                Some(p) => !alive[p.0] || !contractible[p.0],
+                Some(p) => !ws.alive[p.0] || !ws.mark[p.0],
             };
             if is_max {
                 roots.push(u);
@@ -137,17 +150,18 @@ pub fn levelled_contraction(forest: &Forest, k: u32) -> ContractionResult {
         // Collect the members (the contracted subtrees) and kill them.
         let mut members = Vec::new();
         let mut value = 0.0f64;
-        let mut stack = roots.clone();
-        while let Some(u) = stack.pop() {
-            debug_assert!(alive[u.0]);
+        ws.stack.clear();
+        ws.stack.extend_from_slice(&roots);
+        while let Some(u) = ws.stack.pop() {
+            debug_assert!(ws.alive[u.0]);
             obs_count!("forest.contraction.contracted_nodes");
-            alive[u.0] = false;
+            ws.alive[u.0] = false;
             alive_count -= 1;
             members.push(u);
             value += forest.value(u);
             for &c in forest.children(u) {
-                if alive[c.0] {
-                    stack.push(c);
+                if ws.alive[c.0] {
+                    ws.stack.push(c);
                 }
             }
         }

@@ -3,6 +3,7 @@
 
 use crate::arena::{Forest, NodeId};
 use crate::kbas::{is_kbas, KeepSet};
+use crate::workspace::{Workspace, UNMAPPED};
 use pobp_core::Value;
 
 /// Extracts the sub-forest induced by `keep` as its own [`Forest`].
@@ -13,19 +14,36 @@ use pobp_core::Value;
 /// [`is_kbas`] guarantees for valid inputs). Returns the new forest and the
 /// mapping from new node ids to the original ones.
 pub fn extract_subforest(forest: &Forest, keep: &KeepSet) -> (Forest, Vec<NodeId>) {
-    let mut new_id: Vec<Option<NodeId>> = vec![None; forest.len()];
+    extract_subforest_ws(forest, keep, &mut Workspace::new())
+}
+
+/// [`extract_subforest`] with caller-provided scratch memory (the traversal
+/// order and the old-id → new-id mapping come from `ws`; the returned
+/// forest and back-mapping are freshly allocated outputs).
+pub fn extract_subforest_ws(
+    forest: &Forest,
+    keep: &KeepSet,
+    ws: &mut Workspace,
+) -> (Forest, Vec<NodeId>) {
+    ws.fill_top_down(forest);
+    ws.new_id.clear();
+    ws.new_id.resize(forest.len(), UNMAPPED);
     let mut out = Forest::new();
     let mut back = Vec::new();
-    for u in forest.top_down_order() {
+    for i in 0..ws.order.len() {
+        let u = ws.order[i];
         if !keep.contains(u) {
             continue;
         }
-        let parent_new = forest.parent(u).and_then(|p| new_id[p.0]);
+        let parent_new = forest
+            .parent(u)
+            .map(|p| ws.new_id[p.0])
+            .filter(|&p| p != UNMAPPED);
         let id = match parent_new {
             Some(p) => out.add_child(p, forest.value(u)),
             None => out.add_root(forest.value(u)),
         };
-        new_id[u.0] = Some(id);
+        ws.new_id[u.0] = id;
         debug_assert_eq!(id.0, back.len());
         back.push(u);
     }

@@ -24,14 +24,16 @@ mod extract;
 mod kbas;
 mod lowerbound;
 mod tm;
+mod workspace;
 
 pub use arena::{Forest, NodeId};
 pub use bruteforce::{brute_force_kbas, BRUTE_FORCE_LIMIT};
-pub use contraction::{levelled_contraction, ContractionResult, Level};
-pub use extract::{extract_subforest, greedy_kbas};
+pub use contraction::{levelled_contraction, levelled_contraction_ws, ContractionResult, Level};
+pub use extract::{extract_subforest, extract_subforest_ws, greedy_kbas};
 pub use kbas::{
     classes_consistent, is_ancestor_independent, is_k_bounded, is_kbas, keep_from_classes,
     KeepSet, NodeClass,
 };
 pub use lowerbound::{root_of, LowerBoundTree};
-pub use tm::{loss_bound, tm, TmResult};
+pub use tm::{loss_bound, tm, tm_ws, TmResult};
+pub use workspace::Workspace;

@@ -24,6 +24,7 @@
 
 use crate::arena::{Forest, NodeId};
 use crate::kbas::{keep_from_classes, KeepSet, NodeClass};
+use crate::workspace::Workspace;
 use pobp_core::{obs_count, Value};
 
 /// Output of the `TM` dynamic program.
@@ -61,19 +62,32 @@ pub struct TmResult {
 /// assert!(is_kbas(&f, &res.keep, 1));
 /// ```
 pub fn tm(forest: &Forest, k: u32) -> TmResult {
+    tm_ws(forest, k, &mut Workspace::new())
+}
+
+/// [`tm`] with caller-provided scratch memory.
+///
+/// Identical output; only the traversal order, top-k selection buffer and
+/// selected-children table come from `ws` (capacity persists across calls),
+/// so steady-state calls allocate nothing but the [`TmResult`] itself.
+pub fn tm_ws(forest: &Forest, k: u32, ws: &mut Workspace) -> TmResult {
     obs_count!("forest.tm.runs");
     let n = forest.len();
     let mut t = vec![0.0f64; n];
     let mut m = vec![0.0f64; n];
-    // Scratch buffer reused across nodes to avoid per-node allocation.
-    let mut child_t: Vec<(Value, NodeId)> = Vec::new();
 
-    let order = forest.bottom_up_order();
-    // `selected[u]` are the children of `u` contributing to `t(u)`
-    // (the `C_k(u)` of the paper), needed for decision extraction.
-    let mut selected: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    ws.fill_top_down(forest);
+    // The selected children `C_k(u)` of every node, needed for decision
+    // extraction, in one flat table: `C_k(u)` occupies the first
+    // `sel_len[u]` slots of `children_range(u)`.
+    ws.sel.clear();
+    ws.sel.resize(forest.edge_count(), NodeId(0));
+    ws.sel_len.clear();
+    ws.sel_len.resize(n, 0);
 
-    for &u in &order {
+    for i in (0..n).rev() {
+        // bottom-up order
+        let u = ws.order[i];
         obs_count!("forest.tm.nodes_visited");
         let children = forest.children(u);
         if children.is_empty() {
@@ -85,12 +99,93 @@ pub fn tm(forest: &Forest, k: u32) -> TmResult {
         m[u.0] = children.iter().map(|&c| t[c.0].max(m[c.0])).sum();
         // t(u) = val(u) + Σ_{top-k by t} t(v). All t(v) ≥ val(v) > 0, so
         // taking min(k, deg) children is always optimal.
+        ws.child_t.clear();
+        ws.child_t.extend(children.iter().map(|&c| (t[c.0], c)));
+        let kk = (k as usize).min(ws.child_t.len());
+        if kk > 0 && kk < ws.child_t.len() {
+            // Partial selection: largest `kk` to the front.
+            obs_count!("forest.tm.topk_selections");
+            ws.child_t.select_nth_unstable_by(kk - 1, |a, b| {
+                b.0.partial_cmp(&a.0).expect("t-values are finite")
+            });
+        }
+        let top_sum: Value = ws.child_t[..kk].iter().map(|(v, _)| v).sum();
+        t[u.0] = forest.value(u) + top_sum;
+        let slot = forest.children_range(u).start;
+        for (j, &(_, c)) in ws.child_t[..kk].iter().enumerate() {
+            ws.sel[slot + j] = c;
+        }
+        ws.sel_len[u.0] = kk as u32;
+    }
+
+    // Decision extraction, top-down.
+    let mut classes = vec![NodeClass::PrunedDown; n];
+    for &u in &ws.order {
+        let class = match forest.parent(u) {
+            None => {
+                if t[u.0] >= m[u.0] {
+                    NodeClass::Retained
+                } else {
+                    NodeClass::PrunedUp
+                }
+            }
+            Some(p) => match classes[p.0] {
+                NodeClass::Retained => {
+                    let slot = forest.children_range(p).start;
+                    let sel = &ws.sel[slot..slot + ws.sel_len[p.0] as usize];
+                    if sel.contains(&u) {
+                        NodeClass::Retained
+                    } else {
+                        NodeClass::PrunedDown
+                    }
+                }
+                NodeClass::PrunedUp => {
+                    if t[u.0] >= m[u.0] {
+                        NodeClass::Retained
+                    } else {
+                        NodeClass::PrunedUp
+                    }
+                }
+                NodeClass::PrunedDown => NodeClass::PrunedDown,
+            },
+        };
+        classes[u.0] = class;
+    }
+
+    let value = forest
+        .roots()
+        .iter()
+        .map(|&r| t[r.0].max(m[r.0]))
+        .sum();
+    let keep = keep_from_classes(&classes);
+    TmResult { value, classes, keep, t, m }
+}
+
+/// The pre-workspace implementation (per-call allocations, per-node child
+/// `Vec`s), kept verbatim as the oracle for the differential proptests in
+/// [`crate::workspace`]'s test suite.
+#[cfg(test)]
+pub(crate) fn tm_reference(forest: &Forest, k: u32) -> TmResult {
+    let n = forest.len();
+    let mut t = vec![0.0f64; n];
+    let mut m = vec![0.0f64; n];
+    let mut child_t: Vec<(Value, NodeId)> = Vec::new();
+
+    let order = forest.bottom_up_order();
+    let mut selected: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+    for &u in &order {
+        let children = forest.children(u);
+        if children.is_empty() {
+            t[u.0] = forest.value(u);
+            m[u.0] = 0.0;
+            continue;
+        }
+        m[u.0] = children.iter().map(|&c| t[c.0].max(m[c.0])).sum();
         child_t.clear();
         child_t.extend(children.iter().map(|&c| (t[c.0], c)));
         let kk = (k as usize).min(child_t.len());
         if kk > 0 && kk < child_t.len() {
-            // Partial selection: largest `kk` to the front.
-            obs_count!("forest.tm.topk_selections");
             child_t.select_nth_unstable_by(kk - 1, |a, b| {
                 b.0.partial_cmp(&a.0).expect("t-values are finite")
             });
@@ -100,10 +195,8 @@ pub fn tm(forest: &Forest, k: u32) -> TmResult {
         selected[u.0] = child_t[..kk].iter().map(|&(_, c)| c).collect();
     }
 
-    // Decision extraction, top-down.
     let mut classes = vec![NodeClass::PrunedDown; n];
     for &u in order.iter().rev() {
-        // top-down order
         let class = match forest.parent(u) {
             None => {
                 if t[u.0] >= m[u.0] {

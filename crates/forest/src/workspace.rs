@@ -1,0 +1,184 @@
+//! Reusable scratch memory for the forest algorithms.
+//!
+//! The §3 algorithms are linear-time on paper, but a naive implementation
+//! re-allocates its traversal orders and side tables on every call, so a
+//! sweep over an (instance, k) grid is allocation-bound. A [`Workspace`]
+//! owns those buffers and hands them out to the `*_ws` entry points
+//! ([`crate::tm_ws`], [`crate::levelled_contraction_ws`],
+//! [`crate::extract_subforest_ws`]); lengths are reset on every call but
+//! capacity persists, so steady-state calls allocate only their *outputs*.
+//!
+//! **Reuse contract.** Every `*_ws` function clears the buffers it uses at
+//! entry (never relying on leftover contents), so a workspace can be reused
+//! across unrelated forests — including after a panic was caught mid-call.
+
+use crate::arena::{Forest, NodeId};
+use pobp_core::Value;
+
+/// Reusable scratch buffers for [`crate::tm_ws`],
+/// [`crate::levelled_contraction_ws`] and [`crate::extract_subforest_ws`].
+///
+/// Create one per worker thread and pass it to every call; buffers keep
+/// their capacity between calls. A fresh workspace is cheap (all buffers
+/// start empty), so the non-`_ws` wrappers just create a throwaway one.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Top-down traversal order (bottom-up = reverse iteration).
+    pub(crate) order: Vec<NodeId>,
+    /// DFS stack shared by the traversal fillers and contraction.
+    pub(crate) stack: Vec<NodeId>,
+    /// `tm`: per-node `(t(v), v)` pairs for the top-k child selection.
+    pub(crate) child_t: Vec<(Value, NodeId)>,
+    /// `tm`: flat selected-children table, laid out at CSR offsets
+    /// (`C_k(u)` occupies the first `sel_len[u]` slots of
+    /// `Forest::children_range(u)`).
+    pub(crate) sel: Vec<NodeId>,
+    /// `tm`: number of selected children per node.
+    pub(crate) sel_len: Vec<u32>,
+    /// `levelled_contraction`: liveness mask.
+    pub(crate) alive: Vec<bool>,
+    /// `levelled_contraction`: contractibility mask.
+    pub(crate) mark: Vec<bool>,
+    /// `extract_subforest`: old-id → new-id mapping (sentinel = unmapped).
+    pub(crate) new_id: Vec<NodeId>,
+}
+
+/// Sentinel for "no new id assigned" in [`Workspace::new_id`].
+pub(crate) const UNMAPPED: NodeId = NodeId(usize::MAX);
+
+impl Workspace {
+    /// A workspace with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fills [`Self::order`] with the forest's top-down order
+    /// (equivalent to [`Forest::top_down_order`], without allocating).
+    pub(crate) fn fill_top_down(&mut self, forest: &Forest) {
+        self.order.clear();
+        self.order.reserve(forest.len());
+        self.stack.clear();
+        self.stack.extend(forest.roots().iter().rev().copied());
+        while let Some(u) = self.stack.pop() {
+            self.order.push(u);
+            self.stack.extend(forest.children(u).iter().rev().copied());
+        }
+        debug_assert_eq!(self.order.len(), forest.len());
+    }
+
+    /// Total bytes currently reserved by the scratch buffers (capacity,
+    /// not length) — reported via the `engine.ws.scratch_bytes` obs event.
+    pub fn scratch_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.order.capacity() * size_of::<NodeId>()
+            + self.stack.capacity() * size_of::<NodeId>()
+            + self.child_t.capacity() * size_of::<(Value, NodeId)>()
+            + self.sel.capacity() * size_of::<NodeId>()
+            + self.sel_len.capacity() * size_of::<u32>()
+            + self.alive.capacity()
+            + self.mark.capacity()
+            + self.new_id.capacity() * size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_top_down_matches_allocating_version() {
+        let mut f = Forest::new();
+        let r = f.add_root(1.0);
+        let a = f.add_child(r, 1.0);
+        f.add_child(r, 1.0);
+        f.add_child(a, 1.0);
+        let r2 = f.add_root(1.0);
+        f.add_child(r2, 1.0);
+        let mut ws = Workspace::new();
+        ws.fill_top_down(&f);
+        assert_eq!(ws.order, f.top_down_order());
+    }
+
+    #[test]
+    fn scratch_bytes_grows_with_use() {
+        let mut f = Forest::new();
+        let r = f.add_root(1.0);
+        for _ in 0..64 {
+            f.add_child(r, 1.0);
+        }
+        let mut ws = Workspace::new();
+        assert_eq!(ws.scratch_bytes(), 0);
+        ws.fill_top_down(&f);
+        assert!(ws.scratch_bytes() > 0);
+    }
+}
+
+/// Differential tests: the workspace paths must be bit-identical to the
+/// pre-workspace reference implementations on arbitrary forests, including
+/// when one workspace is reused across unrelated calls.
+#[cfg(test)]
+mod diff_tests {
+    use super::*;
+    use crate::contraction::levelled_contraction_ws;
+    use crate::extract::{extract_subforest, extract_subforest_ws};
+    use crate::tm::{tm_reference, tm_ws};
+    use proptest::prelude::*;
+
+    /// Random forest: each node's parent is a previously created node or
+    /// none, values in 1..=100 (same shape as `tests/prop_kbas.rs`).
+    fn arb_forest(max_n: usize) -> impl Strategy<Value = Forest> {
+        proptest::collection::vec((1u32..=100, 0usize..=usize::MAX), 1..=max_n).prop_map(|spec| {
+            let mut values = Vec::with_capacity(spec.len());
+            let mut parents = Vec::with_capacity(spec.len());
+            for (i, (v, p)) in spec.into_iter().enumerate() {
+                values.push(v as f64);
+                if i == 0 {
+                    parents.push(None);
+                } else {
+                    let q = p % (i + 1);
+                    parents.push((q < i).then_some(q));
+                }
+            }
+            Forest::from_parents(values, parents)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn tm_ws_matches_reference(f in arb_forest(60), k in 0u32..5) {
+            let mut ws = Workspace::new();
+            let a = tm_reference(&f, k);
+            let b = tm_ws(&f, k, &mut ws);
+            prop_assert_eq!(a.value, b.value);
+            prop_assert_eq!(a.classes, b.classes);
+            prop_assert_eq!(a.keep, b.keep);
+            prop_assert_eq!(a.t, b.t);
+            prop_assert_eq!(a.m, b.m);
+        }
+
+        #[test]
+        fn workspace_reuse_does_not_leak_state(
+            f1 in arb_forest(60),
+            f2 in arb_forest(60),
+            k in 0u32..5,
+        ) {
+            // Run on f1 first, then f2 with the same (dirty) workspace: the
+            // f2 result must match a fresh-workspace run.
+            let mut ws = Workspace::new();
+            let _ = tm_ws(&f1, k, &mut ws);
+            let _ = levelled_contraction_ws(&f1, k, &mut ws);
+            let dirty = tm_ws(&f2, k, &mut ws);
+            let fresh = tm_ws(&f2, k, &mut Workspace::new());
+            prop_assert_eq!(dirty.value, fresh.value);
+            prop_assert_eq!(&dirty.keep, &fresh.keep);
+            let dirty_lc = levelled_contraction_ws(&f2, k, &mut ws);
+            let fresh_lc = levelled_contraction_ws(&f2, k, &mut Workspace::new());
+            prop_assert_eq!(dirty_lc.value(), fresh_lc.value());
+            prop_assert_eq!(dirty_lc.best, fresh_lc.best);
+            let (sub_d, back_d) = extract_subforest_ws(&f2, &dirty.keep, &mut ws);
+            let (sub_f, back_f) = extract_subforest(&f2, &fresh.keep);
+            prop_assert_eq!(sub_d, sub_f);
+            prop_assert_eq!(back_d, back_f);
+        }
+    }
+}

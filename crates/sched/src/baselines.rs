@@ -1,7 +1,8 @@
 //! Non-paper baselines used by the benches and as `OPT_∞` surrogates on
 //! instances too large for the exact branch-and-bound.
 
-use crate::edf::{edf_feasible, edf_schedule, EdfOutcome};
+use crate::edf::{edf_core, edf_schedule, EdfOutcome};
+use crate::workspace::SolveWorkspace;
 use pobp_core::{JobId, JobSet, Schedule};
 
 /// Greedy `∞`-preemptive acceptance: consider jobs in descending density
@@ -12,6 +13,13 @@ use pobp_core::{JobId, JobSet, Schedule};
 /// on the structured instances of this repository it is exact whenever the
 /// full set is feasible, which is what the large-scale experiments use.
 pub fn greedy_unbounded(jobs: &JobSet, ids: &[JobId]) -> EdfOutcome {
+    greedy_unbounded_ws(jobs, ids, &mut SolveWorkspace::new())
+}
+
+/// [`greedy_unbounded`] with caller-provided scratch memory: the `n` EDF
+/// feasibility probes all share one [`SolveWorkspace`], which is what makes
+/// this baseline cheap enough to run per task inside the engine.
+pub fn greedy_unbounded_ws(jobs: &JobSet, ids: &[JobId], ws: &mut SolveWorkspace) -> EdfOutcome {
     let mut order = ids.to_vec();
     order.sort_by(|&a, &b| {
         jobs.job(b)
@@ -23,12 +31,12 @@ pub fn greedy_unbounded(jobs: &JobSet, ids: &[JobId]) -> EdfOutcome {
     let mut accepted: Vec<JobId> = Vec::new();
     for j in order {
         accepted.push(j);
-        if !edf_feasible(jobs, &accepted) {
+        if !edf_core(jobs, &accepted, None, &mut ws.edf).is_feasible() {
             accepted.pop();
         }
     }
     accepted.sort_unstable();
-    edf_schedule(jobs, &accepted, None)
+    edf_core(jobs, &accepted, None, &mut ws.edf)
 }
 
 /// Baseline: run unbounded EDF, then simply *drop* every job that ended up

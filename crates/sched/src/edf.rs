@@ -22,6 +22,7 @@
 //! so it survives the availability-restricted variant. This is exactly the
 //! Figure 1 rearrangement invariant, and `laminar.rs` tests it.
 
+use crate::workspace::{EdfScratch, SolveWorkspace};
 use pobp_core::{obs_count, Interval, JobId, JobSet, Schedule, SegmentSet, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -71,6 +72,27 @@ pub fn edf_schedule(
     subset: &[JobId],
     availability: Option<&SegmentSet>,
 ) -> EdfOutcome {
+    edf_core(jobs, subset, availability, &mut EdfScratch::default())
+}
+
+/// [`edf_schedule`] with caller-provided scratch memory (see
+/// [`SolveWorkspace`]). Identical output; the per-job state arrays, release
+/// list and ready queue keep their capacity across calls.
+pub fn edf_schedule_ws(
+    jobs: &JobSet,
+    subset: &[JobId],
+    availability: Option<&SegmentSet>,
+    ws: &mut SolveWorkspace,
+) -> EdfOutcome {
+    edf_core(jobs, subset, availability, &mut ws.edf)
+}
+
+pub(crate) fn edf_core(
+    jobs: &JobSet,
+    subset: &[JobId],
+    availability: Option<&SegmentSet>,
+    es: &mut EdfScratch,
+) -> EdfOutcome {
     obs_count!("sched.edf.runs");
     if availability.is_some() {
         obs_count!("sched.edf.restricted_runs");
@@ -92,24 +114,26 @@ pub fn edf_schedule(
         }
     };
 
-    // Releases ascending; `remaining` tracks unprocessed ticks per job.
-    let mut releases: Vec<(Time, JobId)> =
-        subset.iter().map(|&j| (jobs.job(j).release, j)).collect();
-    releases.sort_unstable();
-    {
-        let mut ids: Vec<JobId> = subset.to_vec();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), subset.len(), "duplicate job ids in EDF subset");
+    // Per-job state: flat arrays indexed by the dense job id, stamped with
+    // this call's epoch (a stale stamp means "not in this subset"). The
+    // stamp doubles as the duplicate check.
+    let epoch = es.begin(jobs.len());
+    let EdfScratch { remaining, placed, stamp, releases, ready, .. } = es;
+    for &j in subset {
+        let job = jobs.job(j); // panics first on out-of-range ids
+        assert!(
+            std::mem::replace(&mut stamp[j.0], epoch) != epoch,
+            "duplicate job ids in EDF subset"
+        );
+        remaining[j.0] = job.length;
+        placed[j.0].clear();
+        releases.push((job.release, j));
     }
-    let mut remaining: std::collections::HashMap<JobId, Time> =
-        subset.iter().map(|&j| (j, jobs.job(j).length)).collect();
-    let mut placed: std::collections::HashMap<JobId, Vec<Interval>> =
-        subset.iter().map(|&j| (j, Vec::new())).collect();
+    // Releases ascending.
+    releases.sort_unstable();
 
     // Ready queue ordered by (deadline, id) — the deterministic tie-break
     // that makes the output laminar.
-    let mut ready: BinaryHeap<Reverse<(Time, JobId)>> = BinaryHeap::new();
     let mut rel_idx = 0usize;
     let mut ai = 0usize;
     let mut t = Time::MIN;
@@ -125,7 +149,7 @@ pub fn edf_schedule(
 
     loop {
         obs_count!("sched.edf.iterations");
-        admit(t, &mut rel_idx, &mut ready);
+        admit(t, &mut rel_idx, ready);
         // Nothing ready: jump to the next release, or finish.
         if ready.is_empty() {
             match releases.get(rel_idx) {
@@ -152,7 +176,7 @@ pub fn edf_schedule(
         }
 
         let Reverse((deadline, j)) = *ready.peek().expect("non-empty");
-        let rem = remaining[&j];
+        let rem = remaining[j.0];
         if t + rem > deadline {
             // Hopeless: even with exclusive machine use the job cannot meet
             // its deadline. Abort it and discard its partial segments —
@@ -162,7 +186,7 @@ pub fn edf_schedule(
             obs_count!("sched.edf.aborts");
             ready.pop();
             outcome.missed.push(j);
-            placed.remove(&j);
+            placed[j.0].clear();
             continue;
         }
         // Run the top job until the next scheduling event.
@@ -174,21 +198,21 @@ pub fn edf_schedule(
         }
         debug_assert!(run_until > t, "no progress at t={t}");
         obs_count!("sched.edf.segments_emitted");
-        placed.get_mut(&j).expect("job placed map").push(Interval::new(t, run_until));
+        placed[j.0].push(Interval::new(t, run_until));
         let new_rem = rem - (run_until - t);
-        *remaining.get_mut(&j).unwrap() = new_rem;
+        remaining[j.0] = new_rem;
         t = run_until;
         if new_rem == 0 {
             obs_count!("sched.edf.heap_pop");
             ready.pop();
-            let segs = SegmentSet::from_intervals(placed.remove(&j).unwrap());
+            let segs = SegmentSet::from_intervals(placed[j.0].drain(..));
             outcome.schedule.assign_single(j, segs);
         }
     }
     // Anything still ready or unreleased-but-tracked missed its chance.
     while let Some(Reverse((_, j))) = ready.pop() {
         obs_count!("sched.edf.heap_pop");
-        if remaining[&j] > 0 {
+        if remaining[j.0] > 0 {
             outcome.missed.push(j);
         }
     }
@@ -205,6 +229,122 @@ pub fn edf_schedule(
 /// (EDF is exact for this question).
 pub fn edf_feasible(jobs: &JobSet, subset: &[JobId]) -> bool {
     edf_schedule(jobs, subset, None).is_feasible()
+}
+
+/// [`edf_feasible`] with caller-provided scratch memory.
+pub fn edf_feasible_ws(jobs: &JobSet, subset: &[JobId], ws: &mut SolveWorkspace) -> bool {
+    edf_core(jobs, subset, None, &mut ws.edf).is_feasible()
+}
+
+/// The pre-workspace implementation (`HashMap` per-job state, sort-based
+/// duplicate check), kept verbatim as the oracle for the differential
+/// proptests in `tests/differential_ws.rs`.
+#[doc(hidden)]
+pub fn edf_schedule_reference(
+    jobs: &JobSet,
+    subset: &[JobId],
+    availability: Option<&SegmentSet>,
+) -> EdfOutcome {
+    let mut outcome = EdfOutcome { schedule: Schedule::new(), missed: Vec::new() };
+    if subset.is_empty() {
+        return outcome;
+    }
+    let default_avail;
+    let avail: &[Interval] = match availability {
+        Some(a) => a.segments(),
+        None => {
+            let lo = subset.iter().map(|&j| jobs.job(j).release).min().unwrap();
+            let hi = subset.iter().map(|&j| jobs.job(j).deadline).max().unwrap();
+            default_avail = [Interval::new(lo, hi)];
+            &default_avail
+        }
+    };
+
+    let mut releases: Vec<(Time, JobId)> =
+        subset.iter().map(|&j| (jobs.job(j).release, j)).collect();
+    releases.sort_unstable();
+    {
+        let mut ids: Vec<JobId> = subset.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), subset.len(), "duplicate job ids in EDF subset");
+    }
+    let mut remaining: std::collections::HashMap<JobId, Time> =
+        subset.iter().map(|&j| (j, jobs.job(j).length)).collect();
+    let mut placed: std::collections::HashMap<JobId, Vec<Interval>> =
+        subset.iter().map(|&j| (j, Vec::new())).collect();
+
+    let mut ready: BinaryHeap<Reverse<(Time, JobId)>> = BinaryHeap::new();
+    let mut rel_idx = 0usize;
+    let mut ai = 0usize;
+    let mut t = Time::MIN;
+
+    let admit = |t: Time, rel_idx: &mut usize, ready: &mut BinaryHeap<Reverse<(Time, JobId)>>| {
+        while *rel_idx < releases.len() && releases[*rel_idx].0 <= t {
+            let (_, j) = releases[*rel_idx];
+            ready.push(Reverse((jobs.job(j).deadline, j)));
+            *rel_idx += 1;
+        }
+    };
+
+    loop {
+        admit(t, &mut rel_idx, &mut ready);
+        if ready.is_empty() {
+            match releases.get(rel_idx) {
+                Some(&(r, _)) => {
+                    t = t.max(r);
+                    continue;
+                }
+                None => break,
+            }
+        }
+        while ai < avail.len() && avail[ai].end <= t {
+            ai += 1;
+        }
+        if ai == avail.len() {
+            break;
+        }
+        if t < avail[ai].start {
+            t = avail[ai].start;
+            continue;
+        }
+
+        let Reverse((deadline, j)) = *ready.peek().expect("non-empty");
+        let rem = remaining[&j];
+        if t + rem > deadline {
+            ready.pop();
+            outcome.missed.push(j);
+            placed.remove(&j);
+            continue;
+        }
+        let mut run_until = (t + rem).min(avail[ai].end);
+        if let Some(&(r, _)) = releases.get(rel_idx) {
+            if r > t {
+                run_until = run_until.min(r);
+            }
+        }
+        placed.get_mut(&j).expect("job placed map").push(Interval::new(t, run_until));
+        let new_rem = rem - (run_until - t);
+        *remaining.get_mut(&j).unwrap() = new_rem;
+        t = run_until;
+        if new_rem == 0 {
+            ready.pop();
+            let segs = SegmentSet::from_intervals(placed.remove(&j).unwrap());
+            outcome.schedule.assign_single(j, segs);
+        }
+    }
+    while let Some(Reverse((_, j))) = ready.pop() {
+        if remaining[&j] > 0 {
+            outcome.missed.push(j);
+        }
+    }
+    while rel_idx < releases.len() {
+        outcome.missed.push(releases[rel_idx].1);
+        rel_idx += 1;
+    }
+    outcome.missed.sort_unstable();
+    outcome.missed.dedup();
+    outcome
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! `DESIGN.md` §4 — this is the documented substitution for Lawler's
 //! unpublished implementation).
 
-use crate::edf::{edf_feasible, edf_schedule};
+use crate::edf::edf_schedule;
 use pobp_core::{Interval, JobId, JobSet, Schedule, SegmentSet, Time, Value};
 use std::collections::HashMap;
 
@@ -84,14 +84,17 @@ pub fn opt_unbounded(jobs: &JobSet, ids: &[JobId]) -> ExactOpt {
         order: &'a [JobId],
         suffix: &'a [Value],
         best_value: Value,
-        best_set: Vec<JobId>,
+        /// Best subset as a bitmask over `order` indices (n ≤ 24): recording
+        /// an improvement is a register copy, not a `Vec` clone.
+        best_mask: u32,
         chosen: Vec<JobId>,
+        ws: crate::workspace::SolveWorkspace,
     }
     impl Search<'_> {
-        fn dfs(&mut self, i: usize, value: Value) {
+        fn dfs(&mut self, i: usize, value: Value, mask: u32) {
             if value > self.best_value {
                 self.best_value = value;
-                self.best_set = self.chosen.clone();
+                self.best_mask = mask;
             }
             if i == self.order.len() || value + self.suffix[i] <= self.best_value {
                 return;
@@ -99,12 +102,13 @@ pub fn opt_unbounded(jobs: &JobSet, ids: &[JobId]) -> ExactOpt {
             // Include order[i] if still feasible.
             let j = self.order[i];
             self.chosen.push(j);
-            if edf_feasible(self.jobs, &self.chosen) {
-                self.dfs(i + 1, value + self.jobs.job(j).value);
+            if crate::edf::edf_core(self.jobs, &self.chosen, None, &mut self.ws.edf).is_feasible()
+            {
+                self.dfs(i + 1, value + self.jobs.job(j).value, mask | (1 << i));
             }
             self.chosen.pop();
             // Exclude.
-            self.dfs(i + 1, value);
+            self.dfs(i + 1, value, mask);
         }
     }
     let mut search = Search {
@@ -112,11 +116,17 @@ pub fn opt_unbounded(jobs: &JobSet, ids: &[JobId]) -> ExactOpt {
         order: &order,
         suffix: &suffix,
         best_value: 0.0,
-        best_set: Vec::new(),
+        best_mask: 0,
         chosen: Vec::new(),
+        ws: crate::workspace::SolveWorkspace::new(),
     };
-    search.dfs(0, 0.0);
-    let mut subset = search.best_set;
+    search.dfs(0, 0.0, 0);
+    let mut subset: Vec<JobId> = order
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| search.best_mask & (1 << i) != 0)
+        .map(|(_, &j)| j)
+        .collect();
     subset.sort_unstable();
     let schedule = edf_schedule(jobs, &subset, None).schedule;
     debug_assert!(schedule.verify(jobs, None).is_ok());
@@ -234,20 +244,32 @@ pub fn opt_k_bounded_small(jobs: &JobSet, ids: &[JobId], k: u32) -> Value {
     let lengths: Vec<Time> = ids.iter().map(|&j| jobs.job(j).length).collect();
     assert!(lengths.iter().all(|&p| p < 256), "lengths must fit the state encoding");
 
-    // State: (tick, remaining ticks per job, segments used per job, running job).
-    type State = (Time, Vec<u8>, Vec<u8>, u8);
+    // State: (tick, remaining ticks per job, segments used per job, running
+    // job), packed into one u128 — the module limits (n ≤ 6, lengths < 256,
+    // segment counts ≤ 31, horizon ≤ 48) guarantee every field fits its
+    // byte, so the memo key is a register copy instead of two `Vec` clones.
+    fn encode(t: Time, rem: &[u8], segs: &[u8], running: u8, lo: Time) -> u128 {
+        let mut key = (t - lo) as u128;
+        for (i, &r) in rem.iter().enumerate() {
+            key |= (r as u128) << (8 + 8 * i);
+        }
+        for (i, &s) in segs.iter().enumerate() {
+            key |= (s as u128) << (56 + 8 * i);
+        }
+        key | ((running as u128) << 104)
+    }
     fn dfs(
         t: Time,
         rem: &mut Vec<u8>,
         segs: &mut Vec<u8>,
         running: u8,
         ctx: &Ctx<'_>,
-        memo: &mut HashMap<State, Value>,
+        memo: &mut HashMap<u128, Value>,
     ) -> Value {
         if t >= ctx.hi || rem.iter().all(|&r| r == 0) {
             return 0.0;
         }
-        let key: State = (t, rem.clone(), segs.clone(), running);
+        let key = encode(t, rem, segs, running, ctx.lo);
         if let Some(&v) = memo.get(&key) {
             return v;
         }
@@ -286,10 +308,11 @@ pub fn opt_k_bounded_small(jobs: &JobSet, ids: &[JobId], k: u32) -> Value {
     struct Ctx<'a> {
         jobs: &'a JobSet,
         ids: &'a [JobId],
+        lo: Time,
         hi: Time,
         segs_cap: usize,
     }
-    let ctx = Ctx { jobs, ids, hi, segs_cap };
+    let ctx = Ctx { jobs, ids, lo, hi, segs_cap };
     let mut rem: Vec<u8> = lengths.iter().map(|&p| p as u8).collect();
     let mut segs = vec![0u8; n];
     let mut memo = HashMap::new();

@@ -13,7 +13,8 @@
 //! laminar preemption structure — exactly what the schedule-forest
 //! construction of §4.1 needs.
 
-use crate::edf::edf_schedule;
+use crate::edf::edf_core;
+use crate::workspace::SolveWorkspace;
 use pobp_core::{obs_count, Infeasibility, JobId, JobSet, Schedule};
 
 /// Whether the single-machine schedule's preemption structure is laminar:
@@ -95,18 +96,34 @@ fn machine_is_laminar(schedule: &Schedule, machine: usize) -> bool {
 /// Returns the original schedule's infeasibility if it was not feasible to
 /// begin with (the rearrangement is only defined for feasible schedules).
 pub fn laminarize(jobs: &JobSet, schedule: &Schedule) -> Result<Schedule, Infeasibility> {
+    laminarize_ws(jobs, schedule, &mut SolveWorkspace::new())
+}
+
+/// [`laminarize`] with caller-provided scratch memory (see
+/// [`SolveWorkspace`]). Identical output.
+///
+/// # Errors
+/// Returns the original schedule's infeasibility if it was not feasible to
+/// begin with.
+pub fn laminarize_ws(
+    jobs: &JobSet,
+    schedule: &Schedule,
+    ws: &mut SolveWorkspace,
+) -> Result<Schedule, Infeasibility> {
     schedule.verify(jobs, None)?;
     obs_count!("sched.laminarize.runs");
     let mut out = Schedule::new();
     for machine in schedule.machines() {
         obs_count!("sched.laminarize.machines");
-        let on_machine: Vec<JobId> = schedule
-            .iter()
-            .filter(|(_, a)| a.machine == machine)
-            .map(|(id, _)| id)
-            .collect();
+        ws.sf.on_machine.clear();
+        ws.sf.on_machine.extend(
+            schedule
+                .iter()
+                .filter(|(_, a)| a.machine == machine)
+                .map(|(id, _)| id),
+        );
         let busy = schedule.busy(machine);
-        let edf = edf_schedule(jobs, &on_machine, Some(&busy));
+        let edf = edf_core(jobs, &ws.sf.on_machine, Some(&busy), &mut ws.edf);
         // The original schedule witnesses feasibility within `busy`, and EDF
         // is optimal under restricted availability — no job can miss.
         assert!(

@@ -40,20 +40,31 @@ mod multi;
 mod nonpreemptive;
 mod reduction;
 mod sforest;
+mod workspace;
 
-pub use baselines::{edf_truncate, greedy_nonpreemptive_by_value, greedy_unbounded};
+pub use baselines::{
+    edf_truncate, greedy_nonpreemptive_by_value, greedy_unbounded, greedy_unbounded_ws,
+};
 pub use combined::{combined_from_scratch, k_preemption_combined, CombinedOutcome};
-pub use edf::{edf_feasible, edf_schedule, EdfOutcome};
+pub use edf::{edf_feasible, edf_feasible_ws, edf_schedule, edf_schedule_ws, EdfOutcome};
+#[doc(hidden)]
+pub use edf::edf_schedule_reference;
 pub use exact::{
     opt_k_bounded_small, opt_nonpreemptive, opt_unbounded, ExactOpt, OPT_K_BOUNDED_MAX_HORIZON,
     OPT_K_BOUNDED_MAX_JOBS, OPT_NONPREEMPTIVE_LIMIT, OPT_UNBOUNDED_LIMIT,
 };
 pub use classical::{lawler_moore, moore_hodgson};
 pub use classify::{cs_by_density, cs_by_value, key_classes};
-pub use laminar::{is_laminar, laminarize};
+pub use laminar::{is_laminar, laminarize, laminarize_ws};
 pub use lsa::{length_classes, lsa, lsa_cs, lsa_in_order, LsaOutcome};
 pub use migrative::{global_edf, GlobalEdfOutcome, MigrativeSchedule};
 pub use multi::iterative_multi_machine;
 pub use nonpreemptive::{best_single_job, schedule_k0};
-pub use reduction::{reduce_to_k_bounded, reduce_to_k_bounded_with, KbasSolver, ReductionOutcome};
-pub use sforest::{reconstruct, schedule_forest, ScheduleForest};
+pub use reduction::{
+    reduce_to_k_bounded, reduce_to_k_bounded_with, reduce_to_k_bounded_ws, KbasSolver,
+    ReductionOutcome, ReductionPlan,
+};
+pub use sforest::{
+    reconstruct, reconstruct_ws, schedule_forest, schedule_forest_ws, ScheduleForest,
+};
+pub use workspace::SolveWorkspace;

@@ -5,10 +5,11 @@
 //! `k`-bounded schedule whose value is at least
 //! `val(input schedule) / log_{k+1} n`.
 
-use crate::laminar::laminarize;
-use crate::sforest::{reconstruct, schedule_forest, ScheduleForest};
+use crate::laminar::laminarize_ws;
+use crate::sforest::{reconstruct_ws, schedule_forest_ws, ScheduleForest};
+use crate::workspace::SolveWorkspace;
 use pobp_core::{obs_count, obs_time, Infeasibility, JobSet, Schedule};
-use pobp_forest::{levelled_contraction, tm, KeepSet, TmResult};
+use pobp_forest::{levelled_contraction_ws, tm_ws, KeepSet, TmResult};
 
 /// Which k-BAS solver drives the reduction.
 ///
@@ -78,7 +79,7 @@ pub fn reduce_to_k_bounded(
     schedule: &Schedule,
     k: u32,
 ) -> Result<ReductionOutcome, Infeasibility> {
-    reduce_to_k_bounded_with(jobs, schedule, k, KbasSolver::Tm)
+    reduce_to_k_bounded_ws(jobs, schedule, k, KbasSolver::Tm, &mut SolveWorkspace::new())
 }
 
 /// [`reduce_to_k_bounded`] with an explicit k-BAS solver choice.
@@ -88,26 +89,105 @@ pub fn reduce_to_k_bounded_with(
     k: u32,
     solver: KbasSolver,
 ) -> Result<ReductionOutcome, Infeasibility> {
-    obs_count!("sched.reduction.runs");
-    let laminar = obs_time!("sched.reduction.time.laminarize", laminarize(jobs, schedule)?);
-    let forest = obs_time!("sched.reduction.time.forest", schedule_forest(jobs, &laminar));
-    let kbas = obs_time!("sched.reduction.time.kbas", tm(&forest.forest, k));
-    let keep_used = match solver {
-        KbasSolver::Tm => kbas.keep.clone(),
-        KbasSolver::LevelledContraction => {
-            if forest.forest.is_empty() {
-                kbas.keep.clone()
-            } else {
-                levelled_contraction(&forest.forest, k).keep(&forest.forest)
+    reduce_to_k_bounded_ws(jobs, schedule, k, solver, &mut SolveWorkspace::new())
+}
+
+/// [`reduce_to_k_bounded_with`] with caller-provided scratch memory (see
+/// [`SolveWorkspace`]). Identical output.
+///
+/// # Errors
+/// Returns the input schedule's infeasibility, if any.
+pub fn reduce_to_k_bounded_ws(
+    jobs: &JobSet,
+    schedule: &Schedule,
+    k: u32,
+    solver: KbasSolver,
+    ws: &mut SolveWorkspace,
+) -> Result<ReductionOutcome, Infeasibility> {
+    let plan = ReductionPlan::new_ws(jobs, schedule, ws)?;
+    Ok(plan.solve_ws(jobs, k, solver, ws))
+}
+
+/// The `k`-independent prefix of the reduction pipeline: the laminarized
+/// schedule and its schedule forest.
+///
+/// Sweeps over a `k`-grid rebuild these once via [`ReductionPlan::new`] and
+/// then call [`ReductionPlan::solve`] per `k` — only the k-BAS and the
+/// left-merge reconstruction depend on `k`. `solve` output is byte-identical
+/// to [`reduce_to_k_bounded_with`] on the same inputs.
+#[derive(Clone, Debug)]
+pub struct ReductionPlan {
+    /// The laminarized copy of the input schedule (same jobs and value).
+    pub laminar: Schedule,
+    /// The schedule forest of the laminarized schedule.
+    pub forest: ScheduleForest,
+}
+
+impl ReductionPlan {
+    /// Laminarizes `schedule` and builds its schedule forest.
+    ///
+    /// # Errors
+    /// Returns the input schedule's infeasibility, if any.
+    pub fn new(jobs: &JobSet, schedule: &Schedule) -> Result<ReductionPlan, Infeasibility> {
+        Self::new_ws(jobs, schedule, &mut SolveWorkspace::new())
+    }
+
+    /// [`ReductionPlan::new`] with caller-provided scratch memory.
+    ///
+    /// # Errors
+    /// Returns the input schedule's infeasibility, if any.
+    pub fn new_ws(
+        jobs: &JobSet,
+        schedule: &Schedule,
+        ws: &mut SolveWorkspace,
+    ) -> Result<ReductionPlan, Infeasibility> {
+        let laminar =
+            obs_time!("sched.reduction.time.laminarize", laminarize_ws(jobs, schedule, ws)?);
+        let forest =
+            obs_time!("sched.reduction.time.forest", schedule_forest_ws(jobs, &laminar, ws));
+        Ok(ReductionPlan { laminar, forest })
+    }
+
+    /// Runs the `k`-dependent tail of the pipeline (k-BAS + reconstruction).
+    pub fn solve(&self, jobs: &JobSet, k: u32, solver: KbasSolver) -> ReductionOutcome {
+        self.solve_ws(jobs, k, solver, &mut SolveWorkspace::new())
+    }
+
+    /// [`ReductionPlan::solve`] with caller-provided scratch memory.
+    pub fn solve_ws(
+        &self,
+        jobs: &JobSet,
+        k: u32,
+        solver: KbasSolver,
+        ws: &mut SolveWorkspace,
+    ) -> ReductionOutcome {
+        obs_count!("sched.reduction.runs");
+        let kbas =
+            obs_time!("sched.reduction.time.kbas", tm_ws(&self.forest.forest, k, &mut ws.forest));
+        let keep_used = match solver {
+            KbasSolver::Tm => kbas.keep.clone(),
+            KbasSolver::LevelledContraction => {
+                if self.forest.forest.is_empty() {
+                    kbas.keep.clone()
+                } else {
+                    levelled_contraction_ws(&self.forest.forest, k, &mut ws.forest)
+                        .keep(&self.forest.forest)
+                }
             }
+        };
+        let schedule = obs_time!(
+            "sched.reduction.time.reconstruct",
+            reconstruct_ws(jobs, &self.laminar, &self.forest, &keep_used, ws)
+        );
+        debug_assert!(schedule.verify(jobs, Some(k)).is_ok());
+        ReductionOutcome {
+            laminar: self.laminar.clone(),
+            forest: self.forest.clone(),
+            kbas,
+            keep_used,
+            schedule,
         }
-    };
-    let schedule = obs_time!(
-        "sched.reduction.time.reconstruct",
-        reconstruct(jobs, &laminar, &forest, &keep_used)
-    );
-    debug_assert!(schedule.verify(jobs, Some(k)).is_ok());
-    Ok(ReductionOutcome { laminar, forest, kbas, keep_used, schedule })
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,8 @@
 //!   at most (#kept children + 1) ≤ k + 1 components, and a leftmost fill
 //!   produces at most that many segments.
 
-use pobp_core::{Interval, JobId, JobSet, MachineId, Schedule, SegmentSet, Timeline};
+use crate::workspace::{SfScratch, SolveWorkspace};
+use pobp_core::{Interval, JobId, JobSet, MachineId, Schedule, Timeline};
 use pobp_forest::{Forest, KeepSet, NodeId};
 
 /// A schedule forest: the preemption structure of a laminar schedule, with
@@ -70,32 +71,48 @@ impl ScheduleForest {
 /// Panics when the schedule is not laminar (the caller should
 /// [`crate::laminarize`] first) — detected by the same sweep.
 pub fn schedule_forest(jobs: &JobSet, schedule: &Schedule) -> ScheduleForest {
+    schedule_forest_ws(jobs, schedule, &mut SolveWorkspace::new())
+}
+
+/// [`schedule_forest`] with caller-provided scratch memory (see
+/// [`SolveWorkspace`]). Identical output.
+///
+/// # Panics
+/// Panics when the schedule is not laminar, like [`schedule_forest`].
+pub fn schedule_forest_ws(
+    jobs: &JobSet,
+    schedule: &Schedule,
+    ws: &mut SolveWorkspace,
+) -> ScheduleForest {
     let mut forest = Forest::new();
     let mut node_job = Vec::new();
     for machine in schedule.machines() {
-        // Segments of this machine in time order.
-        let mut segs: Vec<(Interval, JobId)> = Vec::new();
-        let mut span_end: std::collections::HashMap<JobId, i64> = Default::default();
+        // Segments of this machine in time order. Per-job state lives in
+        // epoch-stamped flat arrays; one epoch per machine.
+        let epoch = ws.sf.begin(jobs.len());
+        let SfScratch { segs, span_end, span_stamp, opened, stack, .. } = &mut ws.sf;
+        segs.clear();
+        stack.clear();
         for (id, a) in schedule.iter() {
             if a.machine != machine {
                 continue;
             }
             segs.extend(a.segs.iter().map(|s| (*s, id)));
-            span_end.insert(id, a.segs.max_end().expect("non-empty assignment"));
+            span_end[id.0] = a.segs.max_end().expect("non-empty assignment");
+            span_stamp[id.0] = epoch;
         }
         segs.sort_unstable_by_key(|(s, _)| (s.start, s.end));
         // Stack sweep; parent of a newly-opened job = innermost open job.
-        let mut stack: Vec<(JobId, NodeId)> = Vec::new();
-        let mut opened: std::collections::HashSet<JobId> = Default::default();
-        for (seg, id) in segs {
+        for &(seg, id) in segs.iter() {
             while let Some(&(top, _)) = stack.last() {
-                if span_end[&top] <= seg.start {
+                debug_assert_eq!(span_stamp[top.0], epoch);
+                if span_end[top.0] <= seg.start {
                     stack.pop();
                 } else {
                     break;
                 }
             }
-            if opened.contains(&id) {
+            if opened[id.0] == epoch {
                 assert_eq!(
                     stack.last().map(|&(j, _)| j),
                     Some(id),
@@ -110,7 +127,7 @@ pub fn schedule_forest(jobs: &JobSet, schedule: &Schedule) -> ScheduleForest {
             };
             debug_assert_eq!(node.0, node_job.len());
             node_job.push((machine, id));
-            opened.insert(id);
+            opened[id.0] = epoch;
             stack.push((id, node));
         }
     }
@@ -129,14 +146,31 @@ pub fn reconstruct(
     sf: &ScheduleForest,
     keep: &KeepSet,
 ) -> Schedule {
+    reconstruct_ws(jobs, laminar, sf, keep, &mut SolveWorkspace::new())
+}
+
+/// [`reconstruct`] with caller-provided scratch memory (see
+/// [`SolveWorkspace`]). Identical output.
+pub fn reconstruct_ws(
+    jobs: &JobSet,
+    laminar: &Schedule,
+    sf: &ScheduleForest,
+    keep: &KeepSet,
+    ws: &mut SolveWorkspace,
+) -> Schedule {
     let mut out = Schedule::new();
-    let mut timelines: std::collections::HashMap<MachineId, Timeline> = Default::default();
+    ws.sf.timelines.clear();
     for node in keep.ids() {
         let (machine, id) = sf.node_job[node.0];
         let segs = laminar.segments(id).expect("forest node of unscheduled job");
         let span = segs.span().expect("non-empty assignment");
-        // allowed(u) = span(u) minus kept children's spans.
-        let mut allowed = SegmentSet::singleton(span);
+        // allowed(u) = span(u) minus kept children's spans. Laminarity nests
+        // the kept children's spans disjointly inside span(u), and node ids
+        // are assigned in segment-start order per machine, so the children
+        // list is already sorted by span start: a single cursor sweep
+        // assembles the same interval list a SegmentSet subtraction would.
+        ws.sf.allowed.clear();
+        let mut cursor = span.start;
         for &c in sf.forest.children(node) {
             if keep.contains(c) {
                 let cid = sf.job_of(c);
@@ -145,13 +179,25 @@ pub fn reconstruct(
                     .expect("kept child unscheduled")
                     .span()
                     .expect("non-empty assignment");
-                allowed = allowed.subtract(&SegmentSet::singleton(cspan));
+                if cspan.start > cursor {
+                    ws.sf.allowed.push(Interval::new(cursor, cspan.start));
+                }
+                cursor = cursor.max(cspan.end);
             }
         }
+        if cursor < span.end {
+            ws.sf.allowed.push(Interval::new(cursor, span.end));
+        }
         let need = jobs.job(id).length;
-        let timeline = timelines.entry(machine).or_default();
+        let timeline = match ws.sf.timelines.iter().position(|(m, _)| *m == machine) {
+            Some(i) => &mut ws.sf.timelines[i].1,
+            None => {
+                ws.sf.timelines.push((machine, Timeline::new()));
+                &mut ws.sf.timelines.last_mut().expect("just pushed").1
+            }
+        };
         let placed = timeline
-            .fill_leftmost(allowed.segments(), need)
+            .fill_leftmost(&ws.sf.allowed, need)
             .expect("Lemma 4.1: allowed region must fit the job");
         out.assign(id, machine, placed);
     }
@@ -162,7 +208,7 @@ pub fn reconstruct(
 mod tests {
     use super::*;
     use crate::edf::edf_schedule;
-    use pobp_core::Job;
+    use pobp_core::{Job, SegmentSet};
     use pobp_forest::{is_kbas, tm};
 
     fn seg_set(pairs: &[(i64, i64)]) -> SegmentSet {

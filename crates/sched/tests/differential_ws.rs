@@ -1,0 +1,133 @@
+//! Differential property tests: the workspace-based hot paths must be
+//! bit-identical to the pre-workspace reference implementations on random
+//! instances, including when one workspace is reused (dirty) across
+//! unrelated calls — the exact reuse pattern of the engine's worker threads.
+
+use pobp_core::{Job, JobId, JobSet, Schedule};
+use pobp_sched::{
+    edf_schedule, edf_schedule_reference, edf_schedule_ws, greedy_unbounded, greedy_unbounded_ws,
+    laminarize, laminarize_ws, reduce_to_k_bounded_with, reduce_to_k_bounded_ws, KbasSolver,
+    ReductionPlan, SolveWorkspace,
+};
+use proptest::prelude::*;
+
+fn arb_jobs(max_n: usize, horizon: i64) -> impl Strategy<Value = JobSet> {
+    proptest::collection::vec((0i64..horizon, 1i64..6, 0i64..10, 1u32..10), 1..=max_n).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .map(|(r, p, slack, v)| Job::new(r, r + p + slack, p, v as f64))
+                .collect()
+        },
+    )
+}
+
+fn all_ids(jobs: &JobSet) -> Vec<JobId> {
+    jobs.ids().collect()
+}
+
+fn assert_schedules_equal(a: &Schedule, b: &Schedule) {
+    let av: Vec<_> = a.iter().collect();
+    let bv: Vec<_> = b.iter().collect();
+    assert_eq!(av, bv);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn edf_ws_matches_reference(jobs in arb_jobs(10, 24)) {
+        let ids = all_ids(&jobs);
+        let mut ws = SolveWorkspace::new();
+        let reference = edf_schedule_reference(&jobs, &ids, None);
+        let via_ws = edf_schedule_ws(&jobs, &ids, None, &mut ws);
+        assert_schedules_equal(&reference.schedule, &via_ws.schedule);
+        prop_assert_eq!(&reference.missed, &via_ws.missed);
+        // Restricted availability uses the same (now dirty) workspace.
+        if let Some(busy) = reference.schedule.machines().first().map(|&m| reference.schedule.busy(m)) {
+            let on: Vec<JobId> = reference.schedule.scheduled_ids().collect();
+            let r2 = edf_schedule_reference(&jobs, &on, Some(&busy));
+            let w2 = edf_schedule_ws(&jobs, &on, Some(&busy), &mut ws);
+            assert_schedules_equal(&r2.schedule, &w2.schedule);
+            prop_assert_eq!(&r2.missed, &w2.missed);
+        }
+    }
+
+    #[test]
+    fn dirty_workspace_matches_fresh_everywhere(
+        jobs1 in arb_jobs(10, 24),
+        jobs2 in arb_jobs(10, 24),
+        k in 0u32..4,
+    ) {
+        // Dirty the workspace on instance 1, then run the whole pipeline on
+        // instance 2: results must match fresh-workspace (wrapper) runs.
+        let mut ws = SolveWorkspace::new();
+        let ids1 = all_ids(&jobs1);
+        let _ = greedy_unbounded_ws(&jobs1, &ids1, &mut ws);
+        let _ = reduce_to_k_bounded_ws(
+            &jobs1,
+            &greedy_unbounded(&jobs1, &ids1).schedule,
+            k,
+            KbasSolver::Tm,
+            &mut ws,
+        );
+
+        let ids2 = all_ids(&jobs2);
+        let dirty = greedy_unbounded_ws(&jobs2, &ids2, &mut ws);
+        let fresh = greedy_unbounded(&jobs2, &ids2);
+        assert_schedules_equal(&dirty.schedule, &fresh.schedule);
+        prop_assert_eq!(&dirty.missed, &fresh.missed);
+
+        let lam_dirty = laminarize_ws(&jobs2, &fresh.schedule, &mut ws).unwrap();
+        let lam_fresh = laminarize(&jobs2, &fresh.schedule).unwrap();
+        assert_schedules_equal(&lam_dirty, &lam_fresh);
+
+        for solver in [KbasSolver::Tm, KbasSolver::LevelledContraction] {
+            let red_dirty =
+                reduce_to_k_bounded_ws(&jobs2, &fresh.schedule, k, solver, &mut ws).unwrap();
+            let red_fresh = reduce_to_k_bounded_with(&jobs2, &fresh.schedule, k, solver).unwrap();
+            assert_schedules_equal(&red_dirty.schedule, &red_fresh.schedule);
+            assert_schedules_equal(&red_dirty.laminar, &red_fresh.laminar);
+            prop_assert_eq!(&red_dirty.keep_used, &red_fresh.keep_used);
+            prop_assert_eq!(red_dirty.kbas.value, red_fresh.kbas.value);
+        }
+    }
+
+    #[test]
+    fn reduction_plan_matches_direct_reduction(jobs in arb_jobs(10, 24)) {
+        // Hoisting the k-independent prefix (laminarize + schedule forest)
+        // out of the k-loop must not change any per-k output.
+        let ids = all_ids(&jobs);
+        let witness = greedy_unbounded(&jobs, &ids).schedule;
+        let mut ws = SolveWorkspace::new();
+        let plan = ReductionPlan::new_ws(&jobs, &witness, &mut ws).unwrap();
+        for k in 0..4u32 {
+            for solver in [KbasSolver::Tm, KbasSolver::LevelledContraction] {
+                let via_plan = plan.solve_ws(&jobs, k, solver, &mut ws);
+                let direct = reduce_to_k_bounded_with(&jobs, &witness, k, solver).unwrap();
+                assert_schedules_equal(&via_plan.schedule, &direct.schedule);
+                assert_schedules_equal(&via_plan.laminar, &direct.laminar);
+                prop_assert_eq!(&via_plan.keep_used, &direct.keep_used);
+                prop_assert_eq!(via_plan.kbas.value, direct.kbas.value);
+            }
+        }
+    }
+
+    #[test]
+    fn public_edf_wrapper_matches_reference(jobs in arb_jobs(12, 30)) {
+        // The throwaway-workspace wrapper is the default entry point; pin it
+        // to the reference too, independently of the _ws path.
+        let ids = all_ids(&jobs);
+        let reference = edf_schedule_reference(&jobs, &ids, None);
+        let wrapper = edf_schedule(&jobs, &ids, None);
+        assert_schedules_equal(&reference.schedule, &wrapper.schedule);
+        prop_assert_eq!(&reference.missed, &wrapper.missed);
+    }
+}
+
+#[test]
+#[should_panic(expected = "duplicate")]
+fn ws_path_rejects_duplicate_ids() {
+    let jobs: JobSet = vec![Job::new(0, 4, 2, 1.0)].into_iter().collect();
+    let _ = edf_schedule_ws(&jobs, &[JobId(0), JobId(0)], None, &mut SolveWorkspace::new());
+}

@@ -162,10 +162,15 @@ pub fn choose_k(
     delta: Time,
     k_max: u32,
 ) -> PlanChoice {
+    // The laminarize → schedule-forest prefix of the reduction is
+    // k-independent: build it once and re-run only the k-BAS DP +
+    // reconstruction per candidate budget.
+    let plan = pobp_sched::ReductionPlan::new(jobs, schedule_inf)
+        .expect("feasible input schedule");
+    let mut ws = pobp_sched::SolveWorkspace::new();
     let mut best: Option<PlanChoice> = None;
     for k in 0..=k_max {
-        let red = pobp_sched::reduce_to_k_bounded(jobs, schedule_inf, k)
-            .expect("feasible input schedule");
+        let red = plan.solve_ws(jobs, k, pobp_sched::KbasSolver::Tm, &mut ws);
         let replay = replay_with_overhead(jobs, &red.schedule, delta);
         let choice = PlanChoice {
             k,

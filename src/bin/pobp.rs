@@ -342,10 +342,11 @@ fn cmd_choose_k(args: &[String]) -> Result<(), String> {
     let inf = greedy_unbounded(&jobs, &ids);
     println!(" k | planned value | replayed value @ δ={delta}");
     println!("---+---------------+------------------------");
+    // One laminarize + schedule-forest pass serves every k in the table.
+    let red_plan = ReductionPlan::new(&jobs, &inf.schedule).map_err(|e| e.to_string())?;
+    let mut ws = SolveWorkspace::new();
     for k in 0..=k_max {
-        let plan = reduce_to_k_bounded(&jobs, &inf.schedule, k)
-            .map_err(|e| e.to_string())?
-            .schedule;
+        let plan = red_plan.solve_ws(&jobs, k, KbasSolver::Tm, &mut ws).schedule;
         let replayed = replay_with_overhead(&jobs, &plan, delta);
         println!(
             " {k} | {:13} | {}",

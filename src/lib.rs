@@ -98,7 +98,7 @@ pub mod prelude {
         is_laminar, iterative_multi_machine, k_preemption_combined, key_classes, laminarize,
         length_classes, lsa, lsa_cs, lsa_in_order, opt_k_bounded_small, opt_nonpreemptive,
         opt_unbounded, reconstruct, reduce_to_k_bounded, reduce_to_k_bounded_with, schedule_forest,
-        schedule_k0, KbasSolver, MigrativeSchedule,
+        schedule_k0, KbasSolver, MigrativeSchedule, ReductionPlan, SolveWorkspace,
     };
     pub use pobp_sim::{
         choose_k, efficiency, execute_online, execute_partitioned, is_robust, max_robust_delta,
