@@ -37,12 +37,15 @@ use pobp_bench::{geo_mean, lax_workload, log_base_k1, mixed_workload, small_work
 use pobp_core::{JobId, JobSet};
 use pobp_engine::{Algo, Engine, EngineConfig, GridSpec, SolveTask, TaskResult};
 use pobp_forest::{levelled_contraction, loss_bound, tm, LowerBoundTree};
-use pobp_instances::{random_forest, round_robin_schedule, Fig2Instance, Fig4Instance};
+use pobp_instances::{
+    random_forest, round_robin_schedule, zoo_instance, Fig2Instance, Fig4Instance, ZooFamily,
+    ZOO_FAMILIES,
+};
 use pobp_sched::{
     cs_by_density, cs_by_value, edf_feasible, edf_schedule, edf_truncate, global_edf,
     greedy_nonpreemptive_by_value, greedy_unbounded, is_laminar, iterative_multi_machine,
-    laminarize, lsa, lsa_cs, opt_nonpreemptive, opt_unbounded, reduce_to_k_bounded, schedule_k0,
-    KbasSolver, ReductionPlan, SolveWorkspace,
+    laminarize, lsa, lsa_cs, opt_k_bounded_fits, opt_k_bounded_small, opt_nonpreemptive,
+    opt_unbounded, reduce_to_k_bounded, schedule_k0, KbasSolver, ReductionPlan, SolveWorkspace,
 };
 
 /// One harness entry: selector name, table title, runner.
@@ -98,6 +101,7 @@ fn main() {
         ("e10", "Ablations", |_| e10_ablations()),
         ("e11", "Extensions: migrative machines, CS-by-value/density", |_| e11_extensions()),
         ("e12", "Motivation: context-switch cost crossover", |_| e12_switch_cost()),
+        ("e13", "Online arrival: empirical competitive ratios vs OPT_k oracle", e13_online),
     ];
     // `bench-snapshot` is an explicit mode, not part of `all`: it re-times
     // the E4 grid and snapshots the medians for regression tracking.
@@ -806,6 +810,110 @@ fn e11_extensions() {
             w[0], w[1], w[2], w[3]
         );
     }
+}
+
+/// E13: the online-arrival competitive-ratio lab (`docs/online.md`,
+/// `docs/results/e13_competitive.md`). Sweeps the instance zoo, runs every
+/// online algorithm *and* a paired offline `OPT_k` oracle task through the
+/// engine, and tables the empirical ratio `oracle / online` per family.
+/// Gate: every measured ratio must stay under the `(1+√P)²` reference bound
+/// — the run panics (fails CI) if any row escapes it.
+fn e13_online(engine: &Engine) {
+    println!("online arrival vs offline OPT_k oracle (pobp_sim::online, docs/online.md)");
+    println!("(zoo: n in {{8, 16}}, k in {{1, 2}}, 3 seeds; ratio = oracle / online value;");
+    println!(" oracle = certified Thm-4.2 reduction, exact OPT_k where it fits)\n");
+    let online_algs = [Algo::OnlineDjn, Algo::OnlineGreedy, Algo::OnlineEdf];
+    let (ns, ks, seeds) = (vec![8usize, 16], vec![1u32, 2], 0..3u64);
+
+    // The paired batch: one oracle task opens each cell, the online tasks
+    // follow. Everything runs through one engine batch so the tables are
+    // deterministic for any --threads.
+    struct Cell {
+        family: ZooFamily,
+        bound: f64,
+        exact: Option<f64>,
+    }
+    let mut tasks: Vec<SolveTask> = Vec::new();
+    let mut cell_of: Vec<(usize, Option<Algo>)> = Vec::new(); // (cell idx, alg)
+    let mut cells: Vec<Cell> = Vec::new();
+    for &family in &ZOO_FAMILIES {
+        for &n in &ns {
+            for seed in seeds.clone() {
+                for &k in &ks {
+                    let instance = zoo_instance(family, n, k, seed);
+                    let ids: Vec<JobId> = instance.ids().collect();
+                    let bound = pobp_sim::djn_ratio_bound(instance.length_ratio().unwrap_or(1.0));
+                    let exact = opt_k_bounded_fits(&instance, &ids)
+                        .then(|| opt_k_bounded_small(&instance, &ids, k));
+                    let cell = cells.len();
+                    cells.push(Cell { family, bound, exact });
+                    let mut push = |algo: Algo, tag: &str| {
+                        tasks.push(SolveTask {
+                            instance: instance.clone(),
+                            k,
+                            machines: 1,
+                            algo,
+                            exact_ref: false,
+                            label: format!("{family} n={n} k={k} seed={seed} {tag}"),
+                        });
+                        cell_of.push((cell, (algo != Algo::Reduction).then_some(algo)));
+                    };
+                    push(Algo::Reduction, "oracle");
+                    for &alg in &online_algs {
+                        push(alg, alg.name());
+                    }
+                }
+            }
+        }
+    }
+    let batch = engine.run_batch(&tasks);
+
+    // Aggregate ratios per (family, alg); enforce the bound per row.
+    let mut ratios: BTreeMap<(&'static str, &'static str), Vec<f64>> = BTreeMap::new();
+    let mut exact_cells = 0usize;
+    let mut oracle_value = 0.0f64;
+    for ((cell, alg), report) in cell_of.iter().zip(&batch.reports) {
+        let out = done(report);
+        let c = &cells[*cell];
+        let Some(alg) = alg else {
+            // The oracle row: a certified k-bounded value, i.e. a lower
+            // bound on OPT_k — upgraded to OPT_k itself where exact fits.
+            oracle_value = match c.exact {
+                Some(e) if e >= out.alg_value => {
+                    exact_cells += 1;
+                    e
+                }
+                _ => out.alg_value,
+            };
+            continue;
+        };
+        assert!(out.alg_value > 0.0, "online {} scheduled nothing: {}", alg.name(), report.label);
+        let ratio = oracle_value / out.alg_value;
+        assert!(
+            ratio <= c.bound,
+            "measured ratio {ratio:.3} escapes the (1+sqrt P)^2 bound {:.3} on {}",
+            c.bound,
+            report.label
+        );
+        ratios.entry((c.family.name(), alg.name())).or_default().push(ratio);
+    }
+
+    println!(" family   | algorithm     | geo-mean ratio | worst ratio | n rows");
+    println!("----------+---------------+----------------+-------------+-------");
+    for ((family, alg), rs) in &ratios {
+        let worst = rs.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            " {family:8} | {alg:13} | {:14.3} | {worst:11.3} | {:5}",
+            geo_mean(rs),
+            rs.len()
+        );
+    }
+    println!(
+        "\nevery measured ratio within the (1+sqrt P)^2 reference bound \
+         ({} cells, {} with exact OPT_k oracle)",
+        cells.len(),
+        exact_cells
+    );
 }
 
 fn e12_switch_cost() {

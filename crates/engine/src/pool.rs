@@ -493,8 +493,10 @@ impl Engine {
     }
 
     /// The graceful-degradation ladder: rerun the task with the polynomial
-    /// fallback (`LSA_CS`, or the `k = 0` algorithm when that *is* the
-    /// task), greedy reference, no deadline, no cache, no chaos — but still
+    /// fallback (`LSA_CS`; the `k = 0` algorithm when that *is* the task;
+    /// the online greedy for online tasks — an online measurement is never
+    /// rescued by an offline algorithm), greedy reference, no deadline, no
+    /// cache, no chaos — but still
     /// honoring the batch token — and certify the result like any other.
     /// Returns `None` when degradation is off, the task is the test-only
     /// panicking algorithm, or the fallback itself fails (the original
@@ -510,7 +512,15 @@ impl Engine {
             return None;
         }
         obs_count!("engine.degrade.attempted");
-        let fallback = if task.k == 0 || task.algo == Algo::K0 { Algo::K0 } else { Algo::LsaCs };
+        // Online tasks stay online: rescuing an online measurement with an
+        // offline algorithm would silently change what the row measures.
+        let fallback = if task.algo.is_online() {
+            Algo::OnlineGreedy
+        } else if task.k == 0 || task.algo == Algo::K0 {
+            Algo::K0
+        } else {
+            Algo::LsaCs
+        };
         let fb_task = SolveTask {
             instance: task.instance.clone(),
             k: task.k,

@@ -19,6 +19,7 @@ use pobp_sched::{
     combined_from_scratch, greedy_unbounded_ws, iterative_multi_machine, k_preemption_combined,
     lsa_cs, opt_unbounded, reduce_to_k_bounded_ws, schedule_k0, KbasSolver, SolveWorkspace,
 };
+use pobp_sim::{run_online, OnlineAlg, OnlineConfig};
 
 use crate::cache::{instance_hash, RefSolution, ResultCache};
 use crate::cancel::{StopReason, TaskCtx};
@@ -99,6 +100,14 @@ fn bounded_stage(
 ) -> (Schedule, u32, Option<(f64, f64)>) {
     let jobs = &task.instance;
     let k = task.k;
+    if let Some(alg) = online_alg(task.algo) {
+        // Online arrival mode (docs/online.md): single-machine by contract
+        // — the CLI rejects `--machines > 1` up front; a hand-built task
+        // that slips through panics here and surfaces as `Panicked`.
+        assert!(task.machines == 1, "online algorithms are single-machine");
+        let out = run_online(jobs, ids, OnlineConfig { alg, k });
+        return (out.schedule, k, None);
+    }
     if task.machines > 1 {
         // §4.3.4 iterative extension: each machine's run builds its own
         // greedy reference over the residual job set.
@@ -118,6 +127,9 @@ fn bounded_stage(
             Algo::K0 => iterative_multi_machine(jobs, ids, task.machines, |js, rem| {
                 schedule_k0(js, rem).schedule
             }),
+            Algo::OnlineDjn | Algo::OnlineGreedy | Algo::OnlineEdf => {
+                unreachable!("online algorithms returned above")
+            }
             Algo::PanicForTest => panic!("injected panic (Algo::PanicForTest)"),
         };
         let eff_k = if task.algo == Algo::K0 { 0 } else { k };
@@ -137,7 +149,21 @@ fn bounded_stage(
         }
         Algo::LsaCs => (lsa_cs(jobs, ids, k).schedule, k, None),
         Algo::K0 => (schedule_k0(jobs, ids).schedule, 0, None),
+        Algo::OnlineDjn | Algo::OnlineGreedy | Algo::OnlineEdf => {
+            unreachable!("online algorithms returned above")
+        }
         Algo::PanicForTest => panic!("injected panic (Algo::PanicForTest)"),
+    }
+}
+
+/// Maps the engine's online [`Algo`] variants onto the executor's
+/// [`OnlineAlg`]; `None` for offline algorithms.
+fn online_alg(algo: Algo) -> Option<OnlineAlg> {
+    match algo {
+        Algo::OnlineDjn => Some(OnlineAlg::Djn),
+        Algo::OnlineGreedy => Some(OnlineAlg::Greedy),
+        Algo::OnlineEdf => Some(OnlineAlg::EdfBudget),
+        _ => None,
     }
 }
 

@@ -29,6 +29,15 @@ pub enum Algo {
     LsaCs,
     /// The §5 non-preemptive (`k = 0`) algorithm.
     K0,
+    /// Online arrival mode (`pobp_sim::online`, single machine only): the
+    /// DJN-style doubling-threshold rule under the per-job budget.
+    OnlineDjn,
+    /// Online arrival mode: commit to the most valuable feasible job and
+    /// never preempt (the non-preemptive online baseline).
+    OnlineGreedy,
+    /// Online arrival mode: earliest-deadline-first with the budget
+    /// enforced (preemptions blocked once a job's budget is spent).
+    OnlineEdf,
     /// Panics immediately. Exists so tests, the determinism property test,
     /// and CI smoke runs can exercise the engine's panic isolation without
     /// corrupting a real solver; never use it for actual measurements.
@@ -43,6 +52,9 @@ impl Algo {
             Algo::Combined => "combined",
             Algo::LsaCs => "lsa",
             Algo::K0 => "k0",
+            Algo::OnlineDjn => "online-djn",
+            Algo::OnlineGreedy => "online-greedy",
+            Algo::OnlineEdf => "online-edf",
             Algo::PanicForTest => "panic",
         }
     }
@@ -54,9 +66,20 @@ impl Algo {
             "combined" => Some(Algo::Combined),
             "lsa" => Some(Algo::LsaCs),
             "k0" => Some(Algo::K0),
+            "online-djn" => Some(Algo::OnlineDjn),
+            "online-greedy" => Some(Algo::OnlineGreedy),
+            "online-edf" => Some(Algo::OnlineEdf),
             "panic" => Some(Algo::PanicForTest),
             _ => None,
         }
+    }
+
+    /// Whether this is an online-arrival algorithm (`pobp_sim::online`).
+    /// Online tasks are single-machine and degrade to [`Algo::OnlineGreedy`]
+    /// (never to an offline algorithm — a degraded row must stay an online
+    /// measurement).
+    pub fn is_online(self) -> bool {
+        matches!(self, Algo::OnlineDjn | Algo::OnlineGreedy | Algo::OnlineEdf)
     }
 }
 

@@ -10,6 +10,9 @@
 //! * [`TaskSet`] — periodic real-time task sets unrolled into job instances
 //!   (the workload shape of the limited-preemption literature);
 //! * [`RandomWorkload`] / [`random_forest`] — reproducible random instances;
+//! * [`zoo_instance`] / [`ZooFamily`] — the instance **zoo**: every family
+//!   above behind one `(family, n, k, seed)` axis, for cross-cutting
+//!   sweeps like `pobp online` and experiment E13;
 //! * [`write_jobs`] / [`parse_jobs`] — plain-text instance round-tripping.
 
 #![forbid(unsafe_code)]
@@ -21,6 +24,7 @@ mod fig4;
 mod periodic;
 mod random;
 mod textio;
+mod zoo;
 
 pub use adversarial::{bursty_workload, overlapping_block, round_robin_schedule};
 pub use fig2::Fig2Instance;
@@ -29,3 +33,4 @@ pub use periodic::{PeriodicTask, TaskSet};
 pub use pobp_forest::LowerBoundTree;
 pub use random::{random_forest, LaxityModel, RandomWorkload, ValueModel};
 pub use textio::{parse_jobs, parse_schedule, write_jobs, write_schedule};
+pub use zoo::{zoo_instance, ZooFamily, ZOO_FAMILIES};

@@ -218,6 +218,23 @@ pub const OPT_K_BOUNDED_MAX_JOBS: usize = 6;
 /// Maximum horizon length for [`opt_k_bounded_small`].
 pub const OPT_K_BOUNDED_MAX_HORIZON: Time = 48;
 
+/// Whether `ids` of `jobs` fits inside [`opt_k_bounded_small`]'s limits
+/// (`n ≤ 6`, horizon ≤ 48, lengths < 256) — i.e. whether the exact `OPT_k`
+/// oracle is available for this instance. The online competitive-ratio lab
+/// (`pobp online`, E13) uses this to upgrade its certified reduction-based
+/// denominator to the exact one wherever the state space allows.
+pub fn opt_k_bounded_fits(jobs: &JobSet, ids: &[JobId]) -> bool {
+    if ids.len() > OPT_K_BOUNDED_MAX_JOBS {
+        return false;
+    }
+    if ids.is_empty() {
+        return true;
+    }
+    let lo = ids.iter().map(|&j| jobs.job(j).release).min().unwrap();
+    let hi = ids.iter().map(|&j| jobs.job(j).deadline).max().unwrap();
+    hi - lo <= OPT_K_BOUNDED_MAX_HORIZON && ids.iter().all(|&j| jobs.job(j).length < 256)
+}
+
 /// Exact `OPT_k` for *tiny* integer instances via memoized tick-by-tick
 /// search: at every tick run one released, unfinished job (starting a new
 /// segment costs one of its `k + 1` slots) or idle. Exponential state space

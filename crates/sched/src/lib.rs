@@ -50,7 +50,8 @@ pub use edf::{edf_feasible, edf_feasible_ws, edf_schedule, edf_schedule_ws, EdfO
 #[doc(hidden)]
 pub use edf::edf_schedule_reference;
 pub use exact::{
-    opt_k_bounded_small, opt_nonpreemptive, opt_unbounded, ExactOpt, OPT_K_BOUNDED_MAX_HORIZON,
+    opt_k_bounded_fits, opt_k_bounded_small, opt_nonpreemptive, opt_unbounded, ExactOpt,
+    OPT_K_BOUNDED_MAX_HORIZON,
     OPT_K_BOUNDED_MAX_JOBS, OPT_NONPREEMPTIVE_LIMIT, OPT_UNBOUNDED_LIMIT,
 };
 pub use classical::{lawler_moore, moore_hodgson};

@@ -17,7 +17,12 @@
 //!   δ-machine and pick the preemption budget that maximizes surviving
 //!   value — the paper's theory as a sizing tool;
 //! * [`execute_partitioned`] — non-migrative multi-machine online execution
-//!   (least-loaded or round-robin partitions).
+//!   (least-loaded or round-robin partitions);
+//! * [`online`] ([`run_online`]) — the **online arrival mode**: jobs
+//!   revealed at release, irrevocable commitments, a per-job preemption
+//!   budget enforced online, and the DJN/greedy/EDF-budget algorithm
+//!   catalogue measured against the offline `OPT_k` oracle (`pobp online`,
+//!   experiment E13, `docs/online.md`).
 //!
 //! The `context_switch_cost` example and experiment E12 use this crate to
 //! show the crossover the paper's introduction predicts: as the switch cost
@@ -27,12 +32,14 @@
 #![warn(missing_docs)]
 
 mod machine;
+pub mod online;
 mod overhead;
 mod partitioned;
 mod replay;
 mod trace;
 
 pub use machine::{execute_online, Policy, SimConfig, SimOutcome};
+pub use online::{djn_ratio_bound, run_online, OnlineAlg, OnlineConfig, OnlineOutcome, ONLINE_ALGS};
 pub use partitioned::{execute_partitioned, PartitionRule, PartitionedOutcome};
 pub use replay::{choose_k, replay_with_overhead, PlanChoice};
 pub use overhead::{

@@ -1,0 +1,517 @@
+//! **Online arrival mode**: jobs are revealed at their release times, the
+//! scheduler commits irrevocably, and every job carries the per-job
+//! preemption budget `k`.
+//!
+//! This is the setting of the online relatives of the paper —
+//! Dürr–Jeż–Nguyen's bounded-length throughput scheduling and
+//! Baptiste–Chrobak–Dürr–Jawor–Vakhania's equal-length jobs — restricted to
+//! the paper's `k`-bounded machine model (Definition 2.1 plus a budget):
+//!
+//! * **Revelation.** A job `⟨r, d, p, v⟩` is unknown before time `r`. At
+//!   every decision point the algorithm sees only released, incomplete,
+//!   non-aborted jobs.
+//! * **Irrevocability.** Machine time is never reclaimed: work performed on
+//!   a job that is later aborted is wasted (value is all-or-nothing at
+//!   completion), and a preemption, once taken, is spent forever.
+//! * **Budget.** A job may be preempted at most `k` times — it runs in at
+//!   most `k + 1` segments. The executor *enforces* this online: a running
+//!   job whose budget is exhausted cannot be preempted, whatever the
+//!   algorithm would prefer (counted by `online.budget_blocks` /
+//!   `online.djn.threshold_rejects`).
+//!
+//! Three algorithms are implemented ([`OnlineAlg`]); `docs/online.md` is the
+//! catalogue with their competitive-ratio claims and the `online.*` obs
+//! counters that measure each claim. The executor itself is deterministic —
+//! a pure function of `(jobs, subset, config)` — so engine-driven online
+//! sweeps (`pobp online`, experiment E13) inherit the byte-identical
+//! `--threads` contract of `docs/engine.md`.
+//!
+//! Unlike [`crate::execute_online`] (the δ-overhead *simulator*), this
+//! executor charges no context-switch cost: it isolates the *information*
+//! price of online arrival from the *mechanical* price of switching, so its
+//! output is directly comparable to the offline `OPT_k` oracle.
+
+use pobp_core::{obs_count, trace_event, Interval, JobId, JobSet, Schedule, SegmentSet, Time};
+
+/// The online algorithm an executor run follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OnlineAlg {
+    /// Commit to the most valuable feasible job and never preempt it.
+    /// The non-preemptive baseline (uses no budget at all).
+    Greedy,
+    /// Earliest-deadline-first among feasible jobs, preempting only while
+    /// the running job still has budget.
+    EdfBudget,
+    /// The DJN-style doubling rule: preempt the running job `c` for a
+    /// waiting job `j` only when `v(j) ≥ 2·v(c)` *and* `c` has budget;
+    /// at completion/abort points, start the most valuable feasible job.
+    Djn,
+}
+
+/// Every algorithm, in the canonical sweep order.
+pub const ONLINE_ALGS: [OnlineAlg; 3] = [OnlineAlg::Djn, OnlineAlg::Greedy, OnlineAlg::EdfBudget];
+
+impl OnlineAlg {
+    /// The stable lowercase name used by CLIs and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            OnlineAlg::Greedy => "greedy",
+            OnlineAlg::EdfBudget => "edf",
+            OnlineAlg::Djn => "djn",
+        }
+    }
+
+    /// Parses [`OnlineAlg::name`] back into a variant.
+    pub fn parse(s: &str) -> Option<OnlineAlg> {
+        ONLINE_ALGS.iter().copied().find(|a| a.name() == s)
+    }
+}
+
+impl std::fmt::Display for OnlineAlg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of one online run.
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineConfig {
+    /// The algorithm.
+    pub alg: OnlineAlg,
+    /// Per-job preemption budget `k` (a job runs in ≤ `k + 1` segments).
+    pub k: u32,
+}
+
+/// What an online run produced.
+#[derive(Clone, Debug)]
+pub struct OnlineOutcome {
+    /// The feasible `k`-bounded schedule of the **completed** jobs (wasted
+    /// work of aborted jobs occupies machine time but is not in here).
+    pub schedule: Schedule,
+    /// Jobs that completed, in completion order.
+    pub completed: Vec<JobId>,
+    /// Jobs that were revealed but never completed (aborted as hopeless or
+    /// starved past their deadlines), sorted by id.
+    pub dropped: Vec<JobId>,
+    /// Preemptions actually taken across all jobs (aborted ones included).
+    pub preemptions: usize,
+    /// Decision points the executor evaluated.
+    pub decisions: usize,
+}
+
+impl OnlineOutcome {
+    /// Completed value — the online algorithm's objective.
+    pub fn value(&self, jobs: &JobSet) -> f64 {
+        self.schedule.value(jobs)
+    }
+}
+
+/// The reference competitive-ratio bound this lab measures against:
+/// `(1 + √P)²`, where `P = p_max/p_min` is the instance's length ratio.
+///
+/// This is the classical deterministic bound shape for bounded-length
+/// online throughput maximization (the literature DJN build on; their
+/// refinement tightens the constant for small `P`). E13 asserts every
+/// measured empirical ratio `OPT_k-oracle / ALG` stays under this curve —
+/// see `docs/online.md` for exactly what is and is not claimed.
+pub fn djn_ratio_bound(length_ratio: f64) -> f64 {
+    let p = length_ratio.max(1.0);
+    let s = 1.0 + p.sqrt();
+    s * s
+}
+
+/// Per-job executor state, indexed by subset position (flat arrays, no
+/// hashing — the PR-5 hot-path idiom, and deterministic iteration for free).
+struct JobState {
+    id: JobId,
+    release: Time,
+    deadline: Time,
+    value: f64,
+    remaining: Time,
+    /// Segments begun so far; preempting a running job with
+    /// `segments == k + 1` would need segment `k + 2` and is forbidden.
+    segments: u32,
+    pieces: Vec<Interval>,
+    status: Status,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Pending,
+    Ready,
+    Done,
+    Aborted,
+}
+
+/// Runs one online execution of `subset` on a single machine.
+///
+/// The executor advances decision point by decision point (releases,
+/// completions, aborts); between decision points the chosen job runs
+/// uninterrupted. At each point it reveals newly released jobs, aborts
+/// *hopeless* ready jobs (`t + remaining > deadline` — they can no longer
+/// complete even running alone), and asks the algorithm which feasible job
+/// to run. The budget rule is enforced here, not trusted to the algorithm.
+///
+/// ```
+/// use pobp_core::{Job, JobId, JobSet};
+/// use pobp_sim::{run_online, OnlineAlg, OnlineConfig};
+///
+/// let jobs: JobSet = vec![
+///     Job::new(0, 40, 10, 1.0),
+///     Job::new(2, 9, 4, 5.0),   // worth 5× — DJN preempts for it
+/// ].into_iter().collect();
+/// let ids = [JobId(0), JobId(1)];
+/// let out = run_online(&jobs, &ids, OnlineConfig { alg: OnlineAlg::Djn, k: 1 });
+/// assert_eq!(out.completed.len(), 2);
+/// assert_eq!(out.preemptions, 1);
+/// out.schedule.verify(&jobs, Some(1)).unwrap();
+/// ```
+pub fn run_online(jobs: &JobSet, subset: &[JobId], config: OnlineConfig) -> OnlineOutcome {
+    obs_count!("online.runs");
+    trace_event!("online.start");
+    let k = config.k;
+    let mut states: Vec<JobState> = subset
+        .iter()
+        .map(|&id| {
+            let j = jobs.job(id);
+            JobState {
+                id,
+                release: j.release,
+                deadline: j.deadline,
+                value: j.value,
+                remaining: j.length,
+                segments: 0,
+                pieces: Vec::new(),
+                status: Status::Pending,
+            }
+        })
+        .collect();
+    // Release order: (time, id) — the adversary reveals ties in id order.
+    let mut order: Vec<usize> = (0..states.len()).collect();
+    order.sort_by_key(|&i| (states[i].release, states[i].id));
+
+    let mut outcome = OnlineOutcome {
+        schedule: Schedule::new(),
+        completed: Vec::new(),
+        dropped: Vec::new(),
+        preemptions: 0,
+        decisions: 0,
+    };
+    if states.is_empty() {
+        trace_event!("online.done");
+        return outcome;
+    }
+
+    let mut next_rel = 0usize; // index into `order`
+    let mut t = states[order[0]].release;
+    let mut running: Option<usize> = None;
+
+    loop {
+        // Reveal everything released by now.
+        while next_rel < order.len() && states[order[next_rel]].release <= t {
+            states[order[next_rel]].status = Status::Ready;
+            obs_count!("online.releases");
+            next_rel += 1;
+        }
+        // Abort hopeless jobs (they cannot complete even if run alone from
+        // now on). A running job is never hopeless: it was feasible when
+        // chosen and has run uninterrupted since.
+        for (i, s) in states.iter_mut().enumerate() {
+            if s.status == Status::Ready && running != Some(i) && t + s.remaining > s.deadline {
+                s.status = Status::Aborted;
+                obs_count!("online.aborts");
+                trace_event!("online.abort", s.id.0);
+            }
+        }
+        let any_ready = states.iter().any(|s| s.status == Status::Ready);
+        if !any_ready {
+            match order.get(next_rel) {
+                Some(&i) => {
+                    obs_count!("online.idle_ticks", states[i].release - t);
+                    t = states[i].release;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        obs_count!("online.decisions");
+        outcome.decisions += 1;
+        let chosen = decide(&states, running, config);
+
+        if let Some(prev) = running {
+            if chosen != prev {
+                // An irrevocable preemption: `prev`'s budget is spent.
+                outcome.preemptions += 1;
+                obs_count!("online.preemptions");
+                trace_event!("online.preempt", states[prev].id.0);
+            }
+        }
+        if running != Some(chosen) && states[chosen].remaining == jobs.job(states[chosen].id).length
+        {
+            obs_count!("online.starts");
+        }
+        if running != Some(chosen) {
+            states[chosen].segments += 1;
+            debug_assert!(states[chosen].segments <= k + 1, "budget violated by the executor");
+        }
+        running = Some(chosen);
+
+        // Run until completion or the next revelation, whichever is first.
+        let mut until = t + states[chosen].remaining;
+        if let Some(&i) = order.get(next_rel) {
+            if states[i].release > t {
+                until = until.min(states[i].release);
+            }
+        }
+        debug_assert!(until > t, "no progress at t={t}");
+        push_piece(&mut states[chosen].pieces, Interval::new(t, until));
+        states[chosen].remaining -= until - t;
+        t = until;
+        if states[chosen].remaining == 0 {
+            states[chosen].status = Status::Done;
+            obs_count!("online.completions");
+            trace_event!("online.complete", states[chosen].id.0);
+            outcome.completed.push(states[chosen].id);
+            let segs = SegmentSet::from_intervals(std::mem::take(&mut states[chosen].pieces));
+            outcome.schedule.assign_single(states[chosen].id, segs);
+            running = None;
+        }
+    }
+
+    for s in &states {
+        if s.status != Status::Done {
+            outcome.dropped.push(s.id);
+        }
+    }
+    outcome.dropped.sort_unstable();
+    trace_event!("online.done", outcome.completed.len());
+    outcome
+}
+
+/// Appends a work interval, merging with the last one when contiguous (the
+/// same segment resumed across a revelation point is *one* segment).
+fn push_piece(pieces: &mut Vec<Interval>, iv: Interval) {
+    if let Some(last) = pieces.last_mut() {
+        if last.end == iv.start {
+            *last = Interval::new(last.start, iv.end);
+            return;
+        }
+    }
+    pieces.push(iv);
+}
+
+/// The algorithm's choice among ready jobs. Caller guarantees at least one
+/// job is `Ready`. Returns a subset position.
+fn decide(states: &[JobState], running: Option<usize>, config: OnlineConfig) -> usize {
+    let k = config.k;
+    // `running` stays feasible by construction; every other Ready job is
+    // feasible too (hopeless ones were just aborted).
+    let best_by = |better: &dyn Fn(&JobState, &JobState) -> bool| -> usize {
+        let mut best: Option<usize> = None;
+        for (i, s) in states.iter().enumerate() {
+            if s.status != Status::Ready {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) if better(s, &states[b]) => Some(i),
+                keep => keep,
+            };
+        }
+        best.expect("caller guarantees a ready job")
+    };
+    // Most valuable first; earlier deadline, then lower id break ties — a
+    // total deterministic order.
+    let max_value = &|a: &JobState, b: &JobState| {
+        (a.value, std::cmp::Reverse(a.deadline), std::cmp::Reverse(a.id))
+            > (b.value, std::cmp::Reverse(b.deadline), std::cmp::Reverse(b.id))
+    };
+    let earliest_deadline =
+        &|a: &JobState, b: &JobState| (a.deadline, a.id) < (b.deadline, b.id);
+
+    match (config.alg, running) {
+        // Greedy commits and never preempts.
+        (OnlineAlg::Greedy, Some(cur)) => cur,
+        (OnlineAlg::Greedy, None) => best_by(max_value),
+        (OnlineAlg::EdfBudget, None) => best_by(earliest_deadline),
+        (OnlineAlg::EdfBudget, Some(cur)) => {
+            let best = best_by(earliest_deadline);
+            if best != cur && states[cur].segments > k {
+                // Out of budget: EDF *wants* to preempt but cannot.
+                obs_count!("online.budget_blocks");
+                cur
+            } else {
+                best
+            }
+        }
+        (OnlineAlg::Djn, None) => best_by(max_value),
+        (OnlineAlg::Djn, Some(cur)) => {
+            let best = best_by(max_value);
+            if best == cur {
+                return cur;
+            }
+            if states[cur].segments > k {
+                obs_count!("online.budget_blocks");
+                return cur;
+            }
+            // The doubling threshold: preempt only for ≥ 2× the value.
+            if states[best].value >= 2.0 * states[cur].value {
+                best
+            } else {
+                obs_count!("online.djn.threshold_rejects");
+                cur
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pobp_core::Job;
+
+    fn ids_of(n: usize) -> Vec<JobId> {
+        (0..n).map(JobId).collect()
+    }
+
+    fn cfg(alg: OnlineAlg, k: u32) -> OnlineConfig {
+        OnlineConfig { alg, k }
+    }
+
+    #[test]
+    fn empty_input() {
+        let jobs = JobSet::new();
+        let out = run_online(&jobs, &[], cfg(OnlineAlg::Djn, 1));
+        assert!(out.schedule.is_empty());
+        assert!(out.dropped.is_empty());
+        assert_eq!(out.decisions, 0);
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let jobs: JobSet = vec![Job::new(3, 10, 5, 2.0)].into_iter().collect();
+        for alg in ONLINE_ALGS {
+            let out = run_online(&jobs, &ids_of(1), cfg(alg, 0));
+            assert_eq!(out.completed, vec![JobId(0)], "{alg}");
+            assert_eq!(out.value(&jobs), 2.0);
+            out.schedule.verify(&jobs, Some(0)).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_never_preempts() {
+        let jobs: JobSet = vec![
+            Job::new(0, 100, 20, 1.0),
+            Job::new(1, 30, 5, 50.0), // would tempt any preemptive rule
+        ]
+        .into_iter()
+        .collect();
+        let out = run_online(&jobs, &ids_of(2), cfg(OnlineAlg::Greedy, 5));
+        assert_eq!(out.preemptions, 0);
+        out.schedule.verify(&jobs, Some(0)).unwrap();
+    }
+
+    #[test]
+    fn djn_preempts_on_doubling_only() {
+        let base = Job::new(0, 100, 20, 4.0);
+        // 1.9× the running value: below threshold, no preemption.
+        let below: JobSet =
+            vec![base, Job::new(2, 12, 4, 7.6)].into_iter().collect();
+        let out = run_online(&below, &ids_of(2), cfg(OnlineAlg::Djn, 3));
+        assert_eq!(out.preemptions, 0);
+        assert_eq!(out.completed, vec![JobId(0)], "tempter aborts, base survives");
+        // 2× the running value: preempt.
+        let above: JobSet =
+            vec![base, Job::new(2, 12, 4, 8.0)].into_iter().collect();
+        let out = run_online(&above, &ids_of(2), cfg(OnlineAlg::Djn, 3));
+        assert_eq!(out.preemptions, 1);
+        assert_eq!(out.completed.len(), 2);
+    }
+
+    #[test]
+    fn budget_is_enforced_under_pressure() {
+        // A long cheap job with a stream of doubling tempters: only k
+        // preemptions may be taken no matter how tempting the stream.
+        let mut v = vec![Job::new(0, 200, 50, 1.0)];
+        for i in 0..5 {
+            let r = 5 + 10 * i;
+            v.push(Job::new(r, r + 6, 4, 4.0 * 2f64.powi(i as i32)));
+        }
+        let jobs: JobSet = v.into_iter().collect();
+        for k in 0..4u32 {
+            for alg in [OnlineAlg::Djn, OnlineAlg::EdfBudget] {
+                let out = run_online(&jobs, &ids_of(jobs.len()), cfg(alg, k));
+                out.schedule.verify(&jobs, Some(k)).unwrap_or_else(|e| {
+                    panic!("{alg} k={k}: {e}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn edf_budget_matches_zero_cost_simulator_shape() {
+        // Same decision rule as execute_online at δ = 0 on a workload with
+        // no ties: completed sets agree.
+        let jobs: JobSet = vec![
+            Job::new(0, 30, 10, 1.0),
+            Job::new(2, 9, 4, 1.0),
+            Job::new(3, 8, 2, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        for k in [0u32, 1, 2] {
+            let online = run_online(&jobs, &ids_of(3), cfg(OnlineAlg::EdfBudget, k));
+            let sim = crate::execute_online(
+                &jobs,
+                &ids_of(3),
+                crate::SimConfig { policy: crate::Policy::EdfBudget(k), switch_cost: 0 },
+            );
+            let mut a: Vec<JobId> = online.schedule.scheduled_ids().collect();
+            let mut b: Vec<JobId> = sim.schedule.scheduled_ids().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn wasted_work_is_not_in_the_schedule() {
+        // The tempter preempts the base job long enough that the base
+        // becomes hopeless: its partial work must not surface as value.
+        let jobs: JobSet = vec![
+            Job::new(0, 22, 20, 1.0),  // laxity 2
+            Job::new(1, 11, 10, 10.0), // 10× → DJN takes it; base then dies
+        ]
+        .into_iter()
+        .collect();
+        let out = run_online(&jobs, &ids_of(2), cfg(OnlineAlg::Djn, 2));
+        assert_eq!(out.completed, vec![JobId(1)]);
+        assert_eq!(out.dropped, vec![JobId(0)]);
+        assert_eq!(out.value(&jobs), 10.0);
+        out.schedule.verify(&jobs, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn determinism_is_bytewise() {
+        let jobs: JobSet = (0..12)
+            .map(|i| Job::new(i % 5, 10 + (3 * i) % 17, 1 + i % 4, 1.0 + (i % 3) as f64))
+            .collect();
+        for alg in ONLINE_ALGS {
+            let a = run_online(&jobs, &ids_of(12), cfg(alg, 1));
+            let b = run_online(&jobs, &ids_of(12), cfg(alg, 1));
+            assert_eq!(format!("{:?}", a.schedule), format!("{:?}", b.schedule));
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.dropped, b.dropped);
+            assert_eq!(a.preemptions, b.preemptions);
+        }
+    }
+
+    #[test]
+    fn ratio_bound_shape() {
+        assert_eq!(djn_ratio_bound(1.0), 4.0);
+        assert!(djn_ratio_bound(4.0) == 9.0);
+        assert!(djn_ratio_bound(0.5) == 4.0, "ratios below 1 clamp to the equal-length case");
+        assert!(djn_ratio_bound(100.0) > djn_ratio_bound(10.0));
+    }
+}

@@ -88,22 +88,25 @@ pub mod prelude {
     };
     pub use pobp_instances::{
         bursty_workload, overlapping_block, parse_jobs, parse_schedule, random_forest,
-        round_robin_schedule, write_jobs, write_schedule, Fig2Instance, Fig4Built, Fig4Instance, LaxityModel, PeriodicTask,
-        RandomWorkload, TaskSet, ValueModel,
+        round_robin_schedule, write_jobs, write_schedule, zoo_instance, Fig2Instance, Fig4Built,
+        Fig4Instance, LaxityModel, PeriodicTask, RandomWorkload, TaskSet, ValueModel, ZooFamily,
+        ZOO_FAMILIES,
     };
     pub use pobp_sched::{
         best_single_job, combined_from_scratch, cs_by_density, cs_by_value, edf_feasible,
         lawler_moore, moore_hodgson,
         edf_schedule, edf_truncate, global_edf, greedy_nonpreemptive_by_value, greedy_unbounded,
         is_laminar, iterative_multi_machine, k_preemption_combined, key_classes, laminarize,
-        length_classes, lsa, lsa_cs, lsa_in_order, opt_k_bounded_small, opt_nonpreemptive,
+        length_classes, lsa, lsa_cs, lsa_in_order, opt_k_bounded_fits, opt_k_bounded_small,
+        opt_nonpreemptive,
         opt_unbounded, reconstruct, reduce_to_k_bounded, reduce_to_k_bounded_with, schedule_forest,
         schedule_k0, KbasSolver, MigrativeSchedule, ReductionPlan, SolveWorkspace,
     };
     pub use pobp_sim::{
-        choose_k, efficiency, execute_online, execute_partitioned, is_robust, max_robust_delta,
-        replay_with_overhead, switch_count, switch_points, ExecEvent, ExecTrace, PartitionRule,
-        PartitionedOutcome, PlanChoice, Policy, SimConfig, SimOutcome, SwitchPoint,
+        choose_k, djn_ratio_bound, efficiency, execute_online, execute_partitioned, is_robust,
+        max_robust_delta, replay_with_overhead, run_online, switch_count, switch_points, ExecEvent,
+        ExecTrace, OnlineAlg, OnlineConfig, OnlineOutcome, PartitionRule, PartitionedOutcome,
+        PlanChoice, Policy, SimConfig, SimOutcome, SwitchPoint, ONLINE_ALGS,
     };
     pub use pobp_engine::{
         run_batch, Algo, BatchReport, CancelToken, CertFailure, CertStage, DegradeCause, Engine,

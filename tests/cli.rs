@@ -273,6 +273,112 @@ fn sweep_trace_without_a_value_errors_before_running() {
     assert!(err.contains("--trace needs a value"), "{err}");
 }
 
+/// `pobp online` emits one JSON row per (cell, algorithm) with the oracle
+/// denominator and the empirical competitive ratio (docs/online.md).
+#[test]
+fn online_emits_ratio_rows_per_algorithm() {
+    let (out, err, ok) =
+        run(&["online", "--families", "periodic,fig2", "--n", "6", "--k", "1", "--seeds", "1"]);
+    assert!(ok, "{err}");
+    let rows: Vec<&str> = out.lines().collect();
+    // 2 families × 1 n × 1 seed × 1 k × 3 algorithms.
+    assert_eq!(rows.len(), 6, "{out}");
+    for alg in ["online-djn", "online-greedy", "online-edf"] {
+        assert!(out.contains(&format!("\"alg\":\"{alg}\"")), "missing {alg}:\n{out}");
+    }
+    for field in ["\"oracle\":", "\"oracle_kind\":", "\"ratio\":", "\"bound\":", "\"preemptions\":"]
+    {
+        assert!(out.contains(field), "missing {field}:\n{out}");
+    }
+    assert!(err.contains("oracle cells"), "{err}");
+}
+
+#[test]
+fn online_single_alg_filter_works() {
+    let (out, err, ok) =
+        run(&["online", "--families", "random", "--n", "5", "--k", "0", "--seeds", "2", "--alg",
+            "djn"]);
+    assert!(ok, "{err}");
+    assert_eq!(out.lines().count(), 2, "{out}");
+    assert!(out.contains("\"alg\":\"online-djn\""));
+    assert!(!out.contains("online-greedy"));
+}
+
+#[test]
+fn online_rejects_unknown_family_and_alg() {
+    let (_, err, ok) = run(&["online", "--families", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown family"), "{err}");
+    let (_, err, ok) = run(&["online", "--alg", "nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown --alg"), "{err}");
+}
+
+/// The competitive-ratio table is byte-identical across thread counts —
+/// the acceptance bar for the online lab (docs/engine.md discipline).
+#[test]
+fn online_output_is_thread_count_invariant() {
+    let args = |threads: &'static str| {
+        ["online", "--n", "5,8", "--k", "0,1", "--seeds", "2", "--threads", threads]
+    };
+    let (seq, err, ok) = run(&args("1"));
+    assert!(ok, "{err}");
+    let (par, err, ok) = run(&args("4"));
+    assert!(ok, "{err}");
+    assert_eq!(seq, par);
+}
+
+/// Every emitted ratio respects the (1+√P)² reference bound recorded in the
+/// same row (the e13 gate, end-to-end through the CLI).
+#[test]
+fn online_ratios_stay_under_the_recorded_bound() {
+    let (out, err, ok) = run(&["online", "--n", "6,9", "--k", "1", "--seeds", "2"]);
+    assert!(ok, "{err}");
+    let grab = |row: &str, key: &str| -> Option<f64> {
+        let rest = &row[row.find(key)? + key.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    };
+    let mut checked = 0;
+    for row in out.lines() {
+        if let (Some(ratio), Some(bound)) = (grab(row, "\"ratio\":"), grab(row, "\"bound\":")) {
+            assert!(ratio <= bound, "ratio {ratio} escapes bound {bound}: {row}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no ratio rows:\n{out}");
+}
+
+#[test]
+fn online_trace_flags_respect_the_feature_gate() {
+    let dir = std::env::temp_dir().join(format!("pobp-online-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let logical = dir.join("online.txt");
+    let args = [
+        "online",
+        "--families",
+        "random",
+        "--n",
+        "5",
+        "--k",
+        "1",
+        "--seeds",
+        "1",
+        "--trace-logical",
+        logical.to_str().unwrap(),
+    ];
+    let (_, err, ok) = run(&args);
+    if pobp::trace::enabled() {
+        assert!(ok, "{err}");
+        let text = std::fs::read_to_string(&logical).unwrap();
+        assert!(text.contains("online."), "expected online.* instants:\n{text}");
+    } else {
+        assert!(!ok);
+        assert!(err.contains("--features trace"), "{err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn sweep_progress_renders_a_meter() {
     let (_, err, ok) = run(&["sweep", "--n", "8,12", "--k", "0,1", "--seeds", "2", "--progress"]);
