@@ -2,9 +2,10 @@
 //! harnesses: `--name value` flag extraction and number/list parsing with
 //! errors that name the offending flag and echo the raw value.
 //!
-//! These used to live inline in `src/bin/pobp.rs`; they are a module of the
-//! facade crate so the `sweep` subcommand and the `experiments` binary
-//! share one implementation instead of each growing its own.
+//! These used to live inline in `src/bin/pobp.rs`; they are a module of
+//! `pobp-core` so the `pobp` subcommands, the `experiments` binary, and the
+//! `pobp-serve` daemon/client share one implementation instead of each
+//! growing its own. The facade crate re-exports this module as `pobp::cli`.
 
 /// Returns the value following `--name`, if present: `flag(args, "--k")`
 /// on `["--k", "2"]` is `Some("2")`.
@@ -43,6 +44,25 @@ where
     T::Err: std::fmt::Display,
 {
     match flag(args, name) {
+        Some(v) => parse_as(&v, name),
+        None => Ok(default),
+    }
+}
+
+/// Like [`parse_num`], but a flag that is present **must** carry a value
+/// (the [`flag_value`] contract): `--workers` as a trailing flag is a loud
+/// error instead of a silent fall-back to the default. Use this wherever a
+/// swallowed flag would change long-running behaviour — the `pobp serve`
+/// daemon and `pobp-client` parse every numeric flag through this.
+pub fn parse_num_strict<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, name)? {
         Some(v) => parse_as(&v, name),
         None => Ok(default),
     }
@@ -104,6 +124,21 @@ mod tests {
         assert!(err.contains("\"ten\""), "{err}");
         let err = parse_num_list(&a, "--n", &[0u32]).unwrap_err();
         assert!(err.contains("--n") && err.contains("\"ten\""), "{err}");
+    }
+
+    #[test]
+    fn strict_parse_rejects_a_trailing_flag() {
+        let a = args(&["--workers", "4", "--queue-cap"]);
+        assert_eq!(parse_num_strict(&a, "--workers", 1u32), Ok(4));
+        assert_eq!(parse_num_strict(&a, "--threads", 9u32), Ok(9));
+        // The lenient helper silently defaults here; the strict one names
+        // the flag instead.
+        assert_eq!(parse_num(&a, "--queue-cap", 64u32), Ok(64));
+        let err = parse_num_strict(&a, "--queue-cap", 64u32).unwrap_err();
+        assert!(err.contains("--queue-cap"), "{err}");
+        let bad = args(&["--workers", "ten"]);
+        let err = parse_num_strict(&bad, "--workers", 1u32).unwrap_err();
+        assert!(err.contains("--workers") && err.contains("\"ten\""), "{err}");
     }
 
     #[test]

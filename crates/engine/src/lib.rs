@@ -25,6 +25,11 @@
 //! * with [`EngineConfig::degrade`] on, tasks that exhaust retries or blow
 //!   their deadline fall back to the polynomial `LSA_CS`/`k = 0` algorithm
 //!   and report [`TaskResult::Degraded`] (still certified);
+//! * long-lived owners stop cleanly via [`Engine::shutdown`] — drain-then-
+//!   join or cancel-then-join, both of which refuse new batches and return
+//!   only once every worker and watchdog thread has joined — and share one
+//!   content-addressed cache across many engines via
+//!   [`Engine::with_shared_cache`] (the `pobp serve` daemon's pattern);
 //! * with the `chaos` cargo feature, a seeded [`chaos::FaultPlan`] injects
 //!   panics, delays, spurious cancellations, forced deadlines, and
 //!   cache-entry corruption at named sites, deterministically per task —

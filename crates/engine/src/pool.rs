@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use pobp_core::obs::LogHistogram;
@@ -151,6 +151,31 @@ impl StatsCell {
     }
 }
 
+/// Lifecycle bookkeeping behind [`Engine::shutdown`]: how many `run_batch`
+/// calls are in flight, whether the engine has been closed to new batches,
+/// and a condvar to wait for the in-flight count to reach zero.
+#[derive(Debug, Default)]
+struct Lifecycle {
+    closed: AtomicBool,
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+/// Drop guard that decrements the in-flight batch count and wakes any
+/// thread blocked in [`Engine::shutdown`]. A guard (not a manual decrement)
+/// so the count stays correct even if `run_batch` unwinds.
+struct BatchGuard<'a>(&'a Lifecycle);
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut active = self.0.active.lock().unwrap();
+        *active -= 1;
+        if *active == 0 {
+            self.0.idle.notify_all();
+        }
+    }
+}
+
 /// A reusable batch-solving engine: configuration, the shared result
 /// cache (persists across batches), and a batch-level cancel token.
 #[derive(Debug, Default)]
@@ -158,6 +183,7 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: Arc<ResultCache>,
     batch: CancelToken,
+    lifecycle: Lifecycle,
     #[cfg(feature = "chaos")]
     chaos: Option<Arc<crate::chaos::FaultPlan>>,
 }
@@ -165,10 +191,19 @@ pub struct Engine {
 impl Engine {
     /// An engine with the given configuration and an empty cache.
     pub fn new(cfg: EngineConfig) -> Self {
+        Engine::with_shared_cache(cfg, Arc::new(ResultCache::new()))
+    }
+
+    /// An engine sharing an existing result cache. This is how a long-lived
+    /// service gives every per-job engine one content-addressed cache: the
+    /// engines are cheap (config + token + `Arc` handle) while the cache —
+    /// the expensive, shareable state — persists across all of them.
+    pub fn with_shared_cache(cfg: EngineConfig, cache: Arc<ResultCache>) -> Self {
         Engine {
             cfg,
-            cache: Arc::new(ResultCache::new()),
+            cache,
             batch: CancelToken::new(),
+            lifecycle: Lifecycle::default(),
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -196,10 +231,51 @@ impl Engine {
         &self.cache
     }
 
+    /// A clonable handle to the result cache, for sharing with another
+    /// engine via [`Engine::with_shared_cache`].
+    pub fn cache_handle(&self) -> Arc<ResultCache> {
+        self.cache.clone()
+    }
+
     /// Cancels the current and all future batches of this engine: every
     /// task not yet finished reports [`TaskResult::Cancelled`].
     pub fn cancel_all(&self) {
         self.batch.cancel();
+    }
+
+    /// Whether [`Engine::shutdown`] has closed this engine to new batches.
+    pub fn is_closed(&self) -> bool {
+        self.lifecycle.closed.load(Ordering::Acquire)
+    }
+
+    /// Stops the engine so its owner can exit cleanly: closes the engine to
+    /// new batches (a `run_batch` call after shutdown returns every task as
+    /// [`TaskResult::Cancelled`] without starting a pool) and blocks until
+    /// every in-flight batch has finished and joined its worker and
+    /// watchdog threads — shutdown never leaks a thread.
+    ///
+    /// * `drain: true` — **drain-then-join**: in-flight batches run to
+    ///   completion; their tasks finish with whatever result they earn.
+    /// * `drain: false` — **cancel-then-join**: the batch token is
+    ///   cancelled first, so every task not yet past its last stage
+    ///   boundary reports [`TaskResult::Cancelled`]; the pool still joins
+    ///   all threads before shutdown returns.
+    ///
+    /// Idempotent: repeat calls (of either mode) return once the engine is
+    /// idle. After a `drain: false` shutdown the batch token stays
+    /// cancelled, like [`Engine::cancel_all`].
+    pub fn shutdown(&self, drain: bool) {
+        self.lifecycle.closed.store(true, Ordering::Release);
+        if drain {
+            obs_count!("engine.shutdown.drain");
+        } else {
+            obs_count!("engine.shutdown.cancel");
+            self.batch.cancel();
+        }
+        let mut active = self.lifecycle.active.lock().unwrap();
+        while *active > 0 {
+            active = self.lifecycle.idle.wait(active).unwrap();
+        }
     }
 
     /// Runs `tasks` across the configured worker pool and returns one
@@ -210,6 +286,30 @@ impl Engine {
         if n == 0 {
             return BatchReport { reports: Vec::new(), stats: stats.snapshot(0) };
         }
+        {
+            // Register this batch with the shutdown lifecycle. The closed
+            // check happens under the same lock that `shutdown` waits on,
+            // so a batch either registers before shutdown observes the
+            // in-flight count or sees the closed flag — never neither.
+            let mut active = self.lifecycle.active.lock().unwrap();
+            if self.lifecycle.closed.load(Ordering::Acquire) {
+                stats.cancelled.fetch_add(n, Ordering::Relaxed);
+                obs_count!("engine.batches.refused");
+                let reports = tasks
+                    .iter()
+                    .enumerate()
+                    .map(|(index, t)| TaskReport {
+                        index,
+                        label: t.label.clone(),
+                        attempts: 0,
+                        result: TaskResult::Cancelled,
+                    })
+                    .collect();
+                return BatchReport { reports, stats: stats.snapshot(n) };
+            }
+            *active += 1;
+        }
+        let _batch_guard = BatchGuard(&self.lifecycle);
         let threads = match self.cfg.threads {
             0 => std::thread::available_parallelism().map_or(1, |p| p.get()),
             t => t,

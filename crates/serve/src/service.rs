@@ -1,0 +1,585 @@
+//! The daemon core: admission control, the priority queue, the worker
+//! pool, and the durable registry — everything except the TCP framing
+//! (which lives in [`crate::server`]).
+//!
+//! # Lifecycle and durability contract
+//!
+//! Every externally visible state change is journalled **before** it is
+//! acknowledged: `submit` appends (and flushes) the `Submit` record before
+//! returning the job id, so a `kill -9` at any later instant cannot lose an
+//! acknowledged job. Workers journal `Start` when they claim and `Finish`
+//! when the engine reports; recovery re-queues anything admitted but not
+//! finished (its solve died with the process) and re-serves every finished
+//! result from the registry. See `docs/serve.md` for the full contract.
+//!
+//! # Admission
+//!
+//! The queue is bounded ([`ServiceConfig::queue_cap`], counting jobs in
+//! [`JobStatus::Queued`]). A full queue — or a stopping daemon — yields a
+//! structured [`SubmitOutcome::Rejected`] with the reason and current
+//! depth; nothing is journalled for rejected submissions. Admitted jobs are
+//! claimed highest-priority-first, FIFO by id on ties.
+//!
+//! # Result reuse
+//!
+//! Two layers. Submissions whose [content key](JobSpec::content_key)
+//! matches an already-finished certified job short-circuit the queue
+//! entirely: the daemon journals `Submit` + `Finish` with the stored result
+//! and bumps `serve.cache.hits`. Below that, every per-job engine shares
+//! one [`ResultCache`], so even concurrent duplicate jobs that miss the
+//! serve layer reuse reference solutions and solver results.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pobp_core::{obs_count, obs_event, obs_span, trace_event};
+use pobp_engine::{Algo, Engine, EngineConfig, ResultCache, TaskReport, TaskResult};
+
+use crate::job::{JobSpec, JobStatus};
+use crate::journal::{recovery_json, Journal, RecoveryReport, DEFAULT_COMPACT_EVERY};
+use crate::json::{obj, Json};
+use crate::registry::{Event, JobRecord, Registry};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Registry directory (journal + snapshot). Created if missing.
+    pub dir: PathBuf,
+    /// Concurrent job workers (each runs one job at a time on its own
+    /// engine). `0` starts no workers: jobs queue but never run — the
+    /// admission tests use this to saturate the queue deterministically;
+    /// the CLI never passes it.
+    pub workers: usize,
+    /// Admission bound: maximum jobs in [`JobStatus::Queued`] at once.
+    pub queue_cap: usize,
+    /// Engine threads per job (`0` = hardware parallelism). Kept at 1 by
+    /// default so `workers` is the daemon's parallelism knob.
+    pub engine_threads: usize,
+    /// Arm the engine's graceful-degradation ladder for deadline overruns
+    /// (see `docs/robustness.md`).
+    pub degrade: bool,
+    /// Journal appends between snapshot compactions.
+    pub compact_every: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            dir: PathBuf::from("pobp-serve-registry"),
+            workers: 2,
+            queue_cap: 64,
+            engine_threads: 1,
+            degrade: false,
+            compact_every: DEFAULT_COMPACT_EVERY,
+        }
+    }
+}
+
+/// What `submit` decided.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitOutcome {
+    /// The job was admitted (and durably journalled). `cached` means it was
+    /// answered immediately from an equal-keyed finished job and is already
+    /// terminal.
+    Accepted {
+        /// The assigned job id.
+        id: u64,
+        /// State at acknowledgement: `Queued`, or terminal when `cached`.
+        status: JobStatus,
+        /// The job's content key.
+        key: u64,
+        /// Whether the result was re-served from an equal-keyed job.
+        cached: bool,
+    },
+    /// The job was not admitted; nothing was journalled.
+    Rejected {
+        /// `"queue_full"` or `"shutting_down"`.
+        reason: &'static str,
+        /// Jobs queued at the moment of rejection.
+        queue_depth: usize,
+    },
+}
+
+/// What `cancel` decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// No job with that id.
+    NotFound,
+    /// The job had already reached this terminal state.
+    AlreadyTerminal(JobStatus),
+    /// The job was still queued: journalled cancelled; it will never reach
+    /// an engine.
+    CancelledQueued,
+    /// The job was running: its engine was signalled; the worker journals
+    /// the terminal state when the engine returns.
+    SignalledRunning,
+}
+
+/// Always-on service counters (plain fields under the state lock, so CI
+/// can assert on them without an `obs` build; the `serve.*` obs family
+/// mirrors them when compiled in).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Admitted submissions (including cache-served ones).
+    pub accepted: u64,
+    /// Rejected submissions.
+    pub rejected: u64,
+    /// Submissions answered from an equal-keyed finished job.
+    pub cache_hits: u64,
+    /// Jobs finished [`JobStatus::Done`].
+    pub done: u64,
+    /// Jobs finished [`JobStatus::Degraded`].
+    pub degraded: u64,
+    /// Jobs finished [`JobStatus::Failed`].
+    pub failed: u64,
+    /// Jobs cancelled (queued or running).
+    pub cancelled: u64,
+    /// Jobs re-queued by crash recovery.
+    pub requeued: u64,
+}
+
+/// Priority-queue entry: max-heap on `(priority, −id)` — higher priority
+/// first, FIFO by id on ties.
+#[derive(Debug, PartialEq, Eq)]
+struct QueueEntry {
+    priority: i64,
+    id: u64,
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Everything under the state lock.
+struct State {
+    registry: Registry,
+    journal: Journal,
+    queue: BinaryHeap<QueueEntry>,
+    /// Jobs in [`JobStatus::Queued`] (the admission-bounded quantity; the
+    /// heap may additionally hold stale entries for cancelled jobs).
+    queued: usize,
+    /// Per-running-job engines, for targeted cancel.
+    running: HashMap<u64, Arc<Engine>>,
+    /// Content key → finished certified job id, for cross-request reuse.
+    key_index: HashMap<u64, u64>,
+    counters: ServeCounters,
+    recovery: RecoveryReport,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    cache: Arc<ResultCache>,
+    state: Mutex<State>,
+    work_ready: Condvar,
+    stopping: AtomicBool,
+    drain: AtomicBool,
+}
+
+/// The running daemon core. Construct with [`Service::start`]; all methods
+/// are callable from any thread (the TCP server calls them from
+/// per-connection threads).
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Recovers the registry from `cfg.dir` and starts the worker pool.
+    pub fn start(cfg: ServiceConfig) -> io::Result<Service> {
+        let (journal, mut registry, recovery) = Journal::open(&cfg.dir, cfg.compact_every)?;
+        let pending = registry.recover_pending();
+        let mut queue = BinaryHeap::new();
+        let mut key_index = HashMap::new();
+        for job in registry.iter() {
+            if matches!(job.status, JobStatus::Done | JobStatus::Degraded)
+                && job.result.is_some()
+                && job.spec.alg != Algo::PanicForTest
+            {
+                key_index.entry(job.spec.content_key()).or_insert(job.id);
+            }
+        }
+        for &id in &pending {
+            let priority = registry.get(id).map_or(0, |j| j.spec.priority);
+            queue.push(QueueEntry { priority, id });
+        }
+        let counters = ServeCounters { requeued: pending.len() as u64, ..Default::default() };
+        obs_count!("serve.recover.requeued", pending.len() as u64);
+        let queued = pending.len();
+        let inner = Arc::new(Inner {
+            cfg: cfg.clone(),
+            cache: Arc::new(ResultCache::new()),
+            state: Mutex::new(State {
+                registry,
+                journal,
+                queue,
+                queued,
+                running: HashMap::new(),
+                key_index,
+                counters,
+                recovery,
+            }),
+            work_ready: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            drain: AtomicBool::new(true),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("pobp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Service { inner, workers: Mutex::new(workers) })
+    }
+
+    /// What recovery found when this daemon started.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.inner.state.lock().unwrap().recovery
+    }
+
+    /// Admission: journal-then-acknowledge, bounded queue, serve-level
+    /// cache. `Err` means the journal could not be written — the submission
+    /// is **not** acknowledged and nothing is enqueued.
+    pub fn submit(&self, spec: JobSpec) -> io::Result<SubmitOutcome> {
+        let mut state = self.inner.state.lock().unwrap();
+        if self.inner.stopping.load(Ordering::Acquire) {
+            state.counters.rejected += 1;
+            obs_count!("serve.submit.rejected");
+            return Ok(SubmitOutcome::Rejected {
+                reason: "shutting_down",
+                queue_depth: state.queued,
+            });
+        }
+        if state.queued >= self.inner.cfg.queue_cap {
+            state.counters.rejected += 1;
+            obs_count!("serve.submit.rejected");
+            return Ok(SubmitOutcome::Rejected { reason: "queue_full", queue_depth: state.queued });
+        }
+        let key = spec.content_key();
+        // Serve-level cache: an equal-keyed certified result short-circuits
+        // the queue. Journalled as submit+finish so restarts re-serve it
+        // identically.
+        if let Some(result) =
+            state.key_index.get(&key).and_then(|id| state.registry.get(*id)).and_then(|donor| {
+                matches!(donor.status, JobStatus::Done | JobStatus::Degraded)
+                    .then(|| donor.result.clone())
+                    .flatten()
+            })
+        {
+            let id = state.registry.allocate_id();
+            let submit = Event::Submit { id, spec };
+            state.journal.append(&submit)?;
+            state.registry.apply(&submit);
+            let finish = Event::Finish { id, result };
+            state.journal.append(&finish)?;
+            state.registry.apply(&finish);
+            let status = state.registry.get(id).expect("just finished").status;
+            state.counters.accepted += 1;
+            state.counters.cache_hits += 1;
+            match status {
+                JobStatus::Degraded => state.counters.degraded += 1,
+                _ => state.counters.done += 1,
+            }
+            obs_count!("serve.submit.accepted");
+            obs_count!("serve.cache.hits");
+            trace_event!("serve.cache_hit");
+            let State { registry, journal, .. } = &mut *state;
+            let _ = journal.maybe_compact(registry);
+            return Ok(SubmitOutcome::Accepted { id, status, key, cached: true });
+        }
+        let id = state.registry.allocate_id();
+        let priority = spec.priority;
+        let submit = Event::Submit { id, spec };
+        state.journal.append(&submit)?;
+        state.registry.apply(&submit);
+        state.queue.push(QueueEntry { priority, id });
+        state.queued += 1;
+        state.counters.accepted += 1;
+        obs_count!("serve.submit.accepted");
+        obs_event!("serve.queue.depth", state.queued as u64);
+        trace_event!("serve.submit", id);
+        drop(state);
+        self.inner.work_ready.notify_one();
+        Ok(SubmitOutcome::Accepted { id, status: JobStatus::Queued, key, cached: false })
+    }
+
+    /// Cancels a job: queued jobs are journalled cancelled on the spot and
+    /// never reach an engine; running jobs have their engine signalled.
+    pub fn cancel(&self, id: u64) -> CancelOutcome {
+        let mut state = self.inner.state.lock().unwrap();
+        let Some(job) = state.registry.get(id) else { return CancelOutcome::NotFound };
+        match job.status {
+            s if s.is_terminal() => CancelOutcome::AlreadyTerminal(s),
+            JobStatus::Running => {
+                if let Some(engine) = state.running.get(&id) {
+                    engine.cancel_all();
+                }
+                trace_event!("serve.cancel.running", id);
+                CancelOutcome::SignalledRunning
+            }
+            _ => {
+                let cancel = Event::Cancel { id };
+                if let Err(e) = state.journal.append(&cancel) {
+                    eprintln!("serve: journal append failed on cancel({id}): {e}");
+                }
+                state.registry.apply(&cancel);
+                state.queued = state.queued.saturating_sub(1);
+                state.counters.cancelled += 1;
+                obs_count!("serve.jobs.cancelled");
+                trace_event!("serve.cancel.queued", id);
+                CancelOutcome::CancelledQueued
+            }
+        }
+    }
+
+    /// One job's record, if it exists.
+    pub fn job(&self, id: u64) -> Option<JobRecord> {
+        self.inner.state.lock().unwrap().registry.get(id).cloned()
+    }
+
+    /// Records in id order, optionally filtered by status, up to `limit`.
+    pub fn list(&self, status: Option<JobStatus>, limit: usize) -> Vec<JobRecord> {
+        let state = self.inner.state.lock().unwrap();
+        state
+            .registry
+            .iter()
+            .filter(|j| status.is_none_or(|s| j.status == s))
+            .take(limit)
+            .cloned()
+            .collect()
+    }
+
+    /// The always-on counter snapshot.
+    pub fn counters(&self) -> ServeCounters {
+        self.inner.state.lock().unwrap().counters
+    }
+
+    /// The `stats` op payload: counters, queue/running depth, journal
+    /// position, and what recovery found at startup.
+    pub fn stats_json(&self) -> Json {
+        let state = self.inner.state.lock().unwrap();
+        let c = state.counters;
+        obj([
+            ("jobs", Json::Num(state.registry.len() as f64)),
+            ("queued", Json::Num(state.queued as f64)),
+            ("running", Json::Num(state.running.len() as f64)),
+            ("queue_cap", Json::Num(self.inner.cfg.queue_cap as f64)),
+            ("accepted", Json::Num(c.accepted as f64)),
+            ("rejected", Json::Num(c.rejected as f64)),
+            ("cache_hits", Json::Num(c.cache_hits as f64)),
+            ("done", Json::Num(c.done as f64)),
+            ("degraded", Json::Num(c.degraded as f64)),
+            ("failed", Json::Num(c.failed as f64)),
+            ("cancelled", Json::Num(c.cancelled as f64)),
+            ("journal_seq", Json::Num(state.journal.seq() as f64)),
+            ("compactions", Json::Num(state.journal.compactions() as f64)),
+            ("recovery", recovery_json(&state.recovery)),
+        ])
+    }
+
+    /// Blocks until no job is queued or running, or `timeout` elapses.
+    /// Returns whether the daemon quiesced.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let state = self.inner.state.lock().unwrap();
+                if state.queued == 0 && state.running.is_empty() {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops the daemon. `drain: true` finishes every queued job first;
+    /// `drain: false` cancels running engines and leaves the rest of the
+    /// queue journalled as queued (a restart re-runs it). Idempotent; joins
+    /// the worker pool and writes a final snapshot.
+    pub fn stop(&self, drain: bool) {
+        self.inner.drain.store(drain, Ordering::Release);
+        self.inner.stopping.store(true, Ordering::Release);
+        if !drain {
+            // Non-blocking cancel signal; the workers observe it at the next
+            // task boundary and journal the cancelled outcome themselves.
+            let state = self.inner.state.lock().unwrap();
+            for engine in state.running.values() {
+                engine.cancel_all();
+            }
+        }
+        self.inner.work_ready.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut state = self.inner.state.lock().unwrap();
+        let State { registry, journal, .. } = &mut *state;
+        if let Err(e) = journal.compact(registry) {
+            eprintln!("serve: final snapshot failed: {e}");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.inner.stopping.load(Ordering::Acquire) {
+            self.stop(false);
+        }
+    }
+}
+
+/// One worker: claim highest-priority queued job → journal `Start` → run it
+/// on a fresh engine sharing the daemon cache → journal `Finish`.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let mut state = inner.state.lock().unwrap();
+        let id = loop {
+            let mut claimed = None;
+            while let Some(entry) = state.queue.pop() {
+                // Jobs cancelled while queued keep their (stale) heap entry;
+                // this status re-check is what guarantees they never reach
+                // an engine.
+                if state.registry.get(entry.id).map(|j| j.status) == Some(JobStatus::Queued) {
+                    claimed = Some(entry.id);
+                    break;
+                }
+            }
+            if let Some(id) = claimed {
+                break id;
+            }
+            if inner.stopping.load(Ordering::Acquire) {
+                return;
+            }
+            state = inner.work_ready.wait(state).unwrap();
+        };
+        // Cancel-mode stop: put the claim back and exit; the final snapshot
+        // persists it as queued for the next daemon.
+        if inner.stopping.load(Ordering::Acquire) && !inner.drain.load(Ordering::Acquire) {
+            let priority = state.registry.get(id).map_or(0, |j| j.spec.priority);
+            state.queue.push(QueueEntry { priority, id });
+            return;
+        }
+        let spec = state.registry.get(id).expect("claimed job exists").spec.clone();
+        let start = Event::Start { id };
+        if let Err(e) = state.journal.append(&start) {
+            eprintln!("serve: journal append failed on start({id}): {e}");
+        }
+        state.registry.apply(&start);
+        state.queued = state.queued.saturating_sub(1);
+        let engine = Arc::new(Engine::with_shared_cache(
+            EngineConfig {
+                threads: inner.cfg.engine_threads,
+                deadline: spec.deadline_ms.map(Duration::from_millis),
+                degrade: inner.cfg.degrade,
+                ..EngineConfig::default()
+            },
+            Arc::clone(&inner.cache),
+        ));
+        state.running.insert(id, Arc::clone(&engine));
+        drop(state);
+        trace_event!("serve.claim", id);
+        let task = spec.task();
+        let report = obs_span!("serve.job", engine.run_batch(std::slice::from_ref(&task)));
+        let task_report = report.reports.into_iter().next().expect("batch of one");
+        let result = task_result_json(&task_report);
+        let mut state = inner.state.lock().unwrap();
+        state.running.remove(&id);
+        let finish = Event::Finish { id, result };
+        if let Err(e) = state.journal.append(&finish) {
+            eprintln!("serve: journal append failed on finish({id}): {e}");
+        }
+        state.registry.apply(&finish);
+        let status = state.registry.get(id).expect("finished job exists").status;
+        match status {
+            JobStatus::Done => {
+                state.counters.done += 1;
+                obs_count!("serve.jobs.done");
+            }
+            JobStatus::Degraded => {
+                state.counters.degraded += 1;
+                obs_count!("serve.jobs.degraded");
+            }
+            JobStatus::Cancelled => {
+                state.counters.cancelled += 1;
+                obs_count!("serve.jobs.cancelled");
+            }
+            _ => {
+                state.counters.failed += 1;
+                obs_count!("serve.jobs.failed");
+            }
+        }
+        if matches!(status, JobStatus::Done | JobStatus::Degraded)
+            && spec.alg != Algo::PanicForTest
+        {
+            state.key_index.entry(spec.content_key()).or_insert(id);
+        }
+        trace_event!("serve.finish", id);
+        let State { registry, journal, .. } = &mut *state;
+        if let Err(e) = journal.maybe_compact(registry) {
+            eprintln!("serve: compaction failed: {e}");
+        }
+    }
+}
+
+/// The result object journalled and served for a finished task.
+///
+/// Contains only values that are a pure function of the task (the engine's
+/// determinism contract), so re-running the same spec — any thread count,
+/// any restart — reproduces it byte-identically. `certified` is `true`
+/// exactly for the statuses whose output passed the engine's certification
+/// trust boundary.
+pub fn task_result_json(report: &TaskReport) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("status".into(), Json::Str(report.result.status().into())),
+        ("attempts".into(), Json::Num(report.attempts as f64)),
+        (
+            "certified".into(),
+            Json::Bool(matches!(
+                report.result,
+                TaskResult::Done(_) | TaskResult::Degraded { .. }
+            )),
+        ),
+    ];
+    match &report.result {
+        TaskResult::Degraded { fallback, cause, .. } => {
+            pairs.push(("fallback".into(), Json::Str(fallback.name().into())));
+            pairs.push(("cause".into(), Json::Str(cause.name().into())));
+        }
+        TaskResult::CertFailed { stage, reason } => {
+            pairs.push(("stage".into(), Json::Str(format!("{stage:?}"))));
+            pairs.push(("reason".into(), Json::Str(reason.clone())));
+        }
+        TaskResult::Panicked { message } => {
+            pairs.push(("message".into(), Json::Str(message.clone())));
+        }
+        _ => {}
+    }
+    if let Some(out) = report.result.output() {
+        pairs.push(("alg_value".into(), Json::Num(out.alg_value)));
+        pairs.push(("ref_value".into(), Json::Num(out.ref_value)));
+        if let Some(price) = out.price() {
+            pairs.push(("price".into(), Json::Num(price)));
+        }
+        pairs.push(("scheduled".into(), Json::Num(out.scheduled as f64)));
+        pairs.push(("preemptions".into(), Json::Num(out.preemptions as f64)));
+    }
+    Json::Obj(pairs)
+}

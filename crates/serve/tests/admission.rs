@@ -1,0 +1,158 @@
+//! Admission control and queue semantics, tested deterministically: a
+//! service started with `workers: 0` accepts and queues but never runs, so
+//! the queue-full boundary, cancel-while-queued, and the recovery requeue
+//! are exact — no timing. A second service over the same directory (with a
+//! worker) then drains the backlog, and the journal's `start` records give
+//! the exact claim order for the priority assertion.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use pobp_engine::Algo;
+use pobp_serve::json::Json;
+use pobp_serve::service::{CancelOutcome, Service, ServiceConfig, SubmitOutcome};
+use pobp_serve::{JobSpec, JobStatus};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pobp-serve-adm-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(dir: &Path, workers: usize, queue_cap: usize) -> ServiceConfig {
+    ServiceConfig {
+        dir: dir.to_path_buf(),
+        workers,
+        queue_cap,
+        engine_threads: 1,
+        degrade: false,
+        compact_every: 10_000,
+    }
+}
+
+/// A quick job with a distinguishing seed and priority.
+fn spec(seed: u64, priority: i64) -> JobSpec {
+    let mut s = JobSpec::cell(Algo::Reduction, 8, 1, seed);
+    s.priority = priority;
+    s.name = format!("adm-{seed}");
+    s
+}
+
+fn accepted_id(outcome: SubmitOutcome) -> u64 {
+    match outcome {
+        SubmitOutcome::Accepted { id, status: JobStatus::Queued, cached: false, .. } => id,
+        other => panic!("expected a queued acceptance, got {other:?}"),
+    }
+}
+
+/// Ids of `start` records in journal order — the exact sequence in which
+/// workers claimed jobs.
+fn start_order(dir: &Path) -> Vec<u64> {
+    let text = fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+    text.lines()
+        .filter_map(|l| Json::parse(l).ok())
+        .filter(|v| v.get("ev").and_then(Json::as_str) == Some("start"))
+        .filter_map(|v| v.get("id").and_then(Json::as_u64))
+        .collect()
+}
+
+#[test]
+fn queue_full_boundary_is_exact_at_capacity() {
+    let dir = tmpdir("boundary");
+    let service = Service::start(cfg(&dir, 0, 3)).unwrap();
+    // Exactly `capacity` jobs are admitted…
+    for seed in 0..3 {
+        accepted_id(service.submit(spec(seed, 0)).unwrap());
+    }
+    // …and job capacity+1 gets the structured rejection with the depth.
+    match service.submit(spec(99, 0)).unwrap() {
+        SubmitOutcome::Rejected { reason, queue_depth } => {
+            assert_eq!(reason, "queue_full");
+            assert_eq!(queue_depth, 3);
+        }
+        other => panic!("expected queue_full, got {other:?}"),
+    }
+    // Rejections are not journalled and allocate no id: freeing one slot
+    // admits the next submission with a contiguous id.
+    assert_eq!(service.cancel(1), CancelOutcome::CancelledQueued);
+    assert_eq!(accepted_id(service.submit(spec(4, 0)).unwrap()), 4);
+    let c = service.counters();
+    assert_eq!((c.accepted, c.rejected, c.cancelled), (4, 1, 1));
+    service.stop(false);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saturated_queue_drains_in_priority_order_and_cancelled_jobs_never_run() {
+    let dir = tmpdir("priority");
+    // Phase 1: saturate a worker-less service so the whole backlog is
+    // queued at once, with mixed priorities and one cancellation.
+    {
+        let service = Service::start(cfg(&dir, 0, 8)).unwrap();
+        let low = accepted_id(service.submit(spec(0, 1)).unwrap()); // id 1
+        accepted_id(service.submit(spec(1, 5)).unwrap()); // id 2, highest
+        accepted_id(service.submit(spec(2, 3)).unwrap()); // id 3
+        accepted_id(service.submit(spec(3, 3)).unwrap()); // id 4, ties FIFO with 3
+        assert_eq!(service.cancel(low), CancelOutcome::CancelledQueued);
+        assert_eq!(service.cancel(low), CancelOutcome::AlreadyTerminal(JobStatus::Cancelled));
+        assert_eq!(service.cancel(77), CancelOutcome::NotFound);
+        service.stop(false);
+    }
+    // Phase 2: a restart recovers the backlog (minus the cancelled job)
+    // and a single worker drains it strictly by (priority desc, id asc).
+    let service = Service::start(cfg(&dir, 1, 8)).unwrap();
+    assert_eq!(service.counters().requeued, 3, "cancelled job must not be requeued");
+    assert!(service.quiesce(Duration::from_secs(60)), "backlog did not drain");
+    assert_eq!(start_order(&dir), vec![2, 3, 4], "claims must follow priority then FIFO");
+    for id in [2, 3, 4] {
+        let job = service.job(id).unwrap();
+        assert_eq!(job.status, JobStatus::Done, "job {id}");
+        assert!(job.result.is_some());
+    }
+    // The cancelled job never reached an engine: terminal, and no result
+    // was ever journalled for it (engine runs always journal one).
+    let job = service.job(1).unwrap();
+    assert_eq!(job.status, JobStatus::Cancelled);
+    assert!(job.result.is_none(), "cancelled-while-queued job must never produce a result");
+    service.stop(true);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stopping_service_rejects_new_submissions() {
+    let dir = tmpdir("stopping");
+    let service = Service::start(cfg(&dir, 1, 8)).unwrap();
+    service.stop(true);
+    match service.submit(spec(0, 0)).unwrap() {
+        SubmitOutcome::Rejected { reason, .. } => assert_eq!(reason, "shutting_down"),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn equal_keyed_submissions_share_one_result() {
+    let dir = tmpdir("cachehit");
+    let service = Service::start(cfg(&dir, 1, 8)).unwrap();
+    let first = accepted_id(service.submit(spec(7, 0)).unwrap());
+    assert!(service.quiesce(Duration::from_secs(60)));
+    // Same cell, different name/priority: served from the finished job,
+    // already terminal at acknowledgement, byte-identical result.
+    let mut dup = spec(7, 0);
+    dup.name = "other-name".into();
+    dup.priority = -4;
+    match service.submit(dup).unwrap() {
+        SubmitOutcome::Accepted { id, status, cached, .. } => {
+            assert!(cached);
+            assert_eq!(status, JobStatus::Done);
+            let a = service.job(first).unwrap().result.unwrap().to_string();
+            let b = service.job(id).unwrap().result.unwrap().to_string();
+            assert_eq!(a, b);
+        }
+        other => panic!("expected cached acceptance, got {other:?}"),
+    }
+    assert_eq!(service.counters().cache_hits, 1);
+    service.stop(true);
+    fs::remove_dir_all(&dir).ok();
+}

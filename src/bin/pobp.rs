@@ -13,7 +13,7 @@
 //! The instance format is the one of `pobp::prelude::{write_jobs, parse_jobs}`:
 //! one `release deadline length value` line per job.
 
-use pobp::cli::{flag, flag_value, has_flag, parse_num, parse_num_list};
+use pobp::cli::{flag, flag_value, has_flag, parse_num, parse_num_list, parse_num_strict};
 use pobp::prelude::*;
 use std::io::Read;
 
@@ -28,6 +28,7 @@ fn main() {
         Some("replay") => cmd_replay(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("online") => cmd_online(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", usage());
             Ok(())
@@ -121,6 +122,9 @@ USAGE:
               [--retries R] [--degrade] [--deadline-ms MS] [--progress]
               [--trace FILE] [--trace-logical FILE]
                                                  (competitive-ratio lab, JSON lines)
+  pobp serve [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue-cap N]
+             [--engine-threads N] [--degrade] [--compact-every N]
+                                                 (scheduling daemon, docs/serve.md)
 
 Any command also accepts --obs (print the JSON counter report to stderr) or
 --obs-out FILE (write it to FILE). Counters require building with
@@ -143,6 +147,12 @@ test-only `panic`, which exercises panic isolation). --degrade arms the
 graceful-degradation ladder (docs/robustness.md): tasks that exhaust
 retries or overrun --deadline-ms fall back to the polynomial algorithm and
 report status \"degraded\" instead of failing.
+
+serve starts the persistent scheduling daemon (docs/serve.md): named solve
+jobs over newline-delimited JSON on TCP, a bounded priority queue with
+structured rejections, per-job cancel, content-keyed result reuse, and a
+durable journal in --dir that survives kill -9 (acknowledged jobs and
+finished results are recovered on restart). Drive it with pobp-client.
 
 online runs the online-arrival competitive-ratio lab (docs/online.md): jobs
 are revealed at release, commitments are irrevocable, and each job carries
@@ -752,6 +762,26 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// `pobp serve`: the persistent scheduling daemon (docs/serve.md). Binds
+/// the address, recovers the registry from `--dir`, prints the two startup
+/// lines (`listening on` / `recovered`), and blocks until a client sends
+/// the `shutdown` op. `--addr` with port `0` lets the OS pick (scripts
+/// scrape the printed address).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7411".into());
+    let dir = flag_value(args, "--dir")?.unwrap_or_else(|| "pobp-serve-registry".into());
+    let cfg = pobp::serve::ServiceConfig {
+        dir: dir.into(),
+        workers: parse_num_strict(args, "--workers", 2usize)?.max(1),
+        queue_cap: parse_num_strict(args, "--queue-cap", 64usize)?.max(1),
+        engine_threads: parse_num_strict(args, "--engine-threads", 1usize)?,
+        degrade: has_flag(args, "--degrade"),
+        compact_every: parse_num_strict(args, "--compact-every", 256u64)?,
+    };
+    pobp::serve::run_server(&addr, cfg).map_err(|e| format!("serve: {e}"))?;
+    emit_trace_reports(args)
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {

@@ -22,7 +22,10 @@
 //!   `pobp sweep` and `experiments --threads N` (worker pool, panic
 //!   isolation, deadlines, result caching, certified outputs, graceful
 //!   degradation, and — with `--features chaos` — deterministic fault
-//!   injection; `docs/engine.md`, `docs/robustness.md`).
+//!   injection; `docs/engine.md`, `docs/robustness.md`);
+//! * [`serve`] — the persistent scheduling service behind `pobp serve`:
+//!   a line-protocol daemon with admission control, per-job cancel, and a
+//!   durable job registry that survives `kill -9` (`docs/serve.md`).
 //!
 //! Building with `--features obs` compiles in the algorithm-level
 //! counter/timer layer ([`obs`]); `--features trace` compiles in the
@@ -69,9 +72,10 @@ pub use pobp_engine as engine;
 pub use pobp_forest as forest;
 pub use pobp_instances as instances;
 pub use pobp_sched as sched;
+pub use pobp_serve as serve;
 pub use pobp_sim as sim;
 
-pub mod cli;
+pub use pobp_core::cli;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

@@ -42,6 +42,26 @@ fn help_prints_usage() {
 }
 
 #[test]
+fn help_lists_the_serve_daemon() {
+    let (out, _, ok) = run(&["help"]);
+    assert!(ok);
+    assert!(out.contains("pobp serve"), "usage must list the daemon:\n{out}");
+    assert!(out.contains("pobp-client"), "usage must point at the client:\n{out}");
+}
+
+#[test]
+fn serve_flag_errors_are_loud_and_never_bind() {
+    for (args, flag) in [
+        (&["serve", "--queue-cap"][..], "--queue-cap"),
+        (&["serve", "--compact-every", "soon", "--addr", "127.0.0.1:0"][..], "--compact-every"),
+    ] {
+        let (_, err, ok) = run(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(err.contains(flag), "error must name {flag}: {err}");
+    }
+}
+
+#[test]
 fn unknown_command_fails() {
     let (_, err, ok) = run(&["frobnicate"]);
     assert!(!ok);

@@ -1,0 +1,157 @@
+//! Durability end-to-end through the real binaries: spawn `pobp serve` as a
+//! subprocess, submit jobs over TCP, `SIGKILL` the daemon mid-flight, restart
+//! it over the same registry directory, and assert every job's state and
+//! cached result survive byte-identically. This is the `kill -9` contract of
+//! docs/serve.md exercised exactly as an operator would hit it.
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use pobp::serve::json::Json;
+use pobp::serve::Client;
+
+const POBP: &str = env!("CARGO_BIN_EXE_pobp");
+
+/// A `pobp serve` subprocess on an OS-assigned port, with the bound address
+/// scraped from its first stdout line.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(dir: &PathBuf, extra: &[&str]) -> Self {
+        let mut child = Command::new(POBP)
+            .args(["serve", "--addr", "127.0.0.1:0", "--dir"])
+            .arg(dir)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn pobp serve");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines.next().expect("daemon printed nothing").expect("read daemon stdout");
+        let addr = first
+            .strip_prefix("serve: listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line: {first:?}"))
+            .to_string();
+        // Drain the rest of stdout on a side thread so the pipe never fills.
+        std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+        Self { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(&self.addr, Duration::from_secs(10))
+    }
+
+    fn kill9(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    fn shutdown(mut self) {
+        let _ = self.client().shutdown(true);
+        let status = self.child.wait().expect("reap daemon");
+        assert!(status.success(), "daemon exit status: {status:?}");
+    }
+}
+
+fn submit_and_wait(client: &Client, alg: &str, n: u64, seed: u64) -> u64 {
+    let spec = Json::Obj(vec![
+        ("alg".into(), Json::Str(alg.into())),
+        ("n".into(), Json::Num(n as f64)),
+        ("k".into(), Json::Num(1.0)),
+        ("seed".into(), Json::Num(seed as f64)),
+    ]);
+    let resp = client.submit(spec).expect("submit");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    let id = resp.get("id").and_then(Json::as_u64).expect("id");
+    for _ in 0..600 {
+        let v = client.result(id).expect("result");
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            return id;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("job {id} did not finish");
+}
+
+fn result_line(client: &Client, id: u64) -> String {
+    let v = client.result(id).expect("result");
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    v.to_string()
+}
+
+#[test]
+fn kill9_restart_recovers_results_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("pobp-serve-e2e-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Boot, run a small mixed batch to completion, snapshot the responses.
+    let daemon = Daemon::spawn(&dir, &["--workers", "2"]);
+    let client = daemon.client();
+    assert!(client.ping(), "daemon not answering");
+    let ids: Vec<u64> = [("reduction", 8, 1), ("lsa", 12, 2), ("combined", 10, 3)]
+        .iter()
+        .map(|&(alg, n, seed)| submit_and_wait(&client, alg, n, seed))
+        .collect();
+    let before: Vec<String> = ids.iter().map(|&id| result_line(&client, id)).collect();
+    daemon.kill9();
+
+    // Restart over the same directory: every record must replay exactly,
+    // including across a different engine parallelism.
+    for workers in ["1", "4"] {
+        let daemon = Daemon::spawn(&dir, &["--workers", workers]);
+        let client = daemon.client();
+        let after: Vec<String> = ids.iter().map(|&id| result_line(&client, id)).collect();
+        assert_eq!(after, before, "results changed across restart (workers={workers})");
+        daemon.kill9();
+    }
+
+    // Resubmitting an already-solved cell after restart is served from the
+    // durable registry: terminal immediately, counted as a cache hit.
+    let daemon = Daemon::spawn(&dir, &["--workers", "1"]);
+    let client = daemon.client();
+    let resp = client
+        .submit(Json::Obj(vec![
+            ("alg".into(), Json::Str("reduction".into())),
+            ("n".into(), Json::Num(8.0)),
+            ("k".into(), Json::Num(1.0)),
+            ("seed".into(), Json::Num(1.0)),
+        ]))
+        .expect("resubmit");
+    assert_eq!(resp.get("cached").and_then(Json::as_bool), Some(true), "{resp}");
+    let stats = client.stats().expect("stats");
+    let hits = stats
+        .get("stats")
+        .and_then(|s| s.get("cache_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(hits >= 1, "expected a cache hit, stats: {stats}");
+
+    // A clean shutdown drains and exits 0 — and the registry survives that
+    // too (final compaction writes the snapshot).
+    daemon.shutdown();
+    let (registry, _, _) = pobp::serve::replay_dir(&dir).expect("replay after shutdown");
+    assert_eq!(registry.len(), ids.len() + 1);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_flag_errors_are_loud() {
+    // A flag missing its value must name the flag and exit nonzero without
+    // ever binding a socket.
+    let out = Command::new(POBP).args(["serve", "--addr"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+    let out = Command::new(POBP)
+        .args(["serve", "--workers", "ten", "--addr", "127.0.0.1:0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workers"));
+}
