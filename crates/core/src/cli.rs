@@ -87,6 +87,24 @@ where
     }
 }
 
+/// Like [`parse_num_list`], but a flag that is present **must** carry a
+/// value (the [`flag_value`] contract): `pobp sweep --n` with nothing after
+/// it is a loud error, not a silent fall-back to the default grid.
+pub fn parse_num_list_strict<T>(
+    args: &[String],
+    name: &str,
+    default: &[T],
+) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr + Clone,
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, name)? {
+        Some(v) => v.split(',').map(|item| parse_as(item.trim(), name)).collect(),
+        None => Ok(default.to_vec()),
+    }
+}
+
 /// The single place a raw flag value is parsed — every error produced by
 /// this module names the flag and echoes the exact text it choked on.
 fn parse_as<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String>
@@ -162,5 +180,16 @@ mod tests {
         assert_eq!(parse_num_list(&a, "--n", &[9u32]), Ok(vec![9]));
         let bad = args(&["--k", "1,,2"]);
         assert!(parse_num_list(&bad, "--k", &[0u32]).is_err());
+    }
+
+    #[test]
+    fn strict_list_rejects_a_trailing_flag() {
+        let a = args(&["--n", "10,20", "--k"]);
+        assert_eq!(parse_num_list_strict(&a, "--n", &[9u32]), Ok(vec![10, 20]));
+        assert_eq!(parse_num_list_strict(&a, "--seeds", &[9u32]), Ok(vec![9]));
+        // `--k` trails with no value: lenient defaults, strict errors.
+        assert_eq!(parse_num_list(&a, "--k", &[1u32]), Ok(vec![1]));
+        let err = parse_num_list_strict(&a, "--k", &[1u32]).unwrap_err();
+        assert!(err.contains("--k"), "{err}");
     }
 }

@@ -1,11 +1,12 @@
 //! A minimal JSON value: parser, writer, and typed accessors.
 //!
-//! The workspace is std-only (the offline build has no serde), and until
-//! this crate every JSON producer wrote strings by hand while consumers
+//! The workspace is std-only (the offline build has no serde), and before
+//! this module every JSON producer wrote strings by hand while consumers
 //! were external (`python3` in CI, Perfetto for traces). The serve line
-//! protocol (`docs/serve.md`) needs both directions in-process — requests
-//! are parsed off the wire, the journal is replayed at recovery — so this
-//! module carries a small, total JSON implementation:
+//! protocol (`docs/serve.md`) and the sweep checkpoint manifest
+//! (`docs/sweeps.md`) need both directions in-process — requests are
+//! parsed off the wire, the journal and manifests are replayed at
+//! recovery — so this module carries a small, total JSON implementation:
 //!
 //! * [`Json::parse`] accepts any RFC 8259 document (objects, arrays,
 //!   strings with escapes, numbers, booleans, null) and returns a

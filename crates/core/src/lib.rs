@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod json;
 pub mod obs;
 pub mod trace;
 

@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex};
 
 use pobp_core::{trace_event, JobSet, Schedule};
 
-use crate::task::{Algo, SolveOutput};
+use crate::task::{Algo, SolveOutput, SolveTask};
 
 /// FNV-1a content hash of a job set: every job's release, deadline, length,
 /// and value bits, in id order. Two `JobSet`s hash equal iff they contain
@@ -57,6 +57,30 @@ pub fn instance_hash(jobs: &JobSet) -> u64 {
         mix(j.value.to_bits());
     }
     h
+}
+
+/// `splitmix64` finalizer — the standard 64-bit avalanche mix. Shared by
+/// the chaos layer's injection decisions and the sweep planner's chunk
+/// keys, so both derive from one pinned bit stream.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The per-task content key: the instance content hash mixed with the
+/// task's solving parameters. Content-addressed like the cache, so
+/// duplicate tasks draw identical keys (chaos needs that for report
+/// determinism) while distinct grid cells draw independently. The sweep
+/// planner folds these keys into its chunk digests, which is what makes a
+/// `--resume` able to detect a changed grid spec.
+pub fn task_key(task: &SolveTask) -> u64 {
+    let mut h = instance_hash(&task.instance);
+    h ^= splitmix64(task.k as u64);
+    h = h.rotate_left(17) ^ splitmix64(task.machines as u64);
+    h = h.rotate_left(17) ^ splitmix64(task.algo.name().len() as u64 ^ (task.algo as u64) << 8);
+    h.rotate_left(17) ^ splitmix64(task.exact_ref as u64)
 }
 
 /// The shared unbounded reference of one instance: the `∞`-preemptive

@@ -20,6 +20,23 @@
 //! | `corrupt-ref` | `cache.rs`, reference-layer put | perturbs the stored reference value |
 //! | `corrupt-result` | `cache.rs`, result-layer put | perturbs the stored output value |
 //!
+//! The IO sites (all routed through [`IoGuard`](crate::io::IoGuard), the
+//! fault-injectable writer under the sweep shard files and the serve
+//! journal; see `docs/sweeps.md`):
+//!
+//! | site | op | effect |
+//! |---|---|---|
+//! | `io-short-write` | line/file writes | writes only a prefix, then errors |
+//! | `io-fsync` | fsync | the flush fails after data may have been buffered |
+//! | `io-rename` | atomic-replace rename | tmp file written + synced, rename fails |
+//! | `io-torn-tail` | line writes | writes the line **without** its final newline, then errors (a mid-write kill) |
+//! | `io-disk-full` | line/file writes | fails up front, writing nothing |
+//!
+//! IO decisions are keyed by `(seed, site, writer key ^ op index)` — the
+//! op index counts IO operations per writer — so a faulty sweep replays
+//! identically across `--threads`, which is what lets the resume proptests
+//! kill a run at *every* event point deterministically.
+//!
 //! Corruption happens at **put** time, decided by the entry key, so every
 //! consumer of a poisoned entry — including the worker that computed it,
 //! which adopts the canonical cache entry — observes the same corrupt
@@ -35,19 +52,21 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cache::RefSolution;
-use crate::task::{SolveOutput, SolveTask};
+use crate::task::SolveOutput;
 
 /// The `pobp sweep` usage addendum for chaos builds. Lives in this module
 /// so every chaos-related CLI string is compiled out with the feature.
 pub const CLI_USAGE: &str = "
-chaos builds only: sweep also accepts
+chaos builds only: sweep and serve also accept
   --chaos SPEC      comma-separated site:rate entries, e.g.
                     panic:0.25,deadline:1,corrupt-ref:0.5 with sites
                     panic|flaky|delay|cancel|deadline|corrupt-ref|corrupt-result
+                    |io-short-write|io-fsync|io-rename|io-torn-tail|io-disk-full
                     (the pseudo-site delay-ms:N sets the delay duration)
   --chaos-seed S    seed of the fault plan (default 0); the same seed over
                     the same grid injects the same faults on any --threads
-See docs/robustness.md.
+The io-* sites fire inside the sweep shard writer and the serve journal
+(docs/sweeps.md); the rest fire inside the engine (docs/robustness.md).
 ";
 
 /// A named fault-injection site. See the module table for semantics.
@@ -67,11 +86,22 @@ pub enum FaultSite {
     CorruptRef,
     /// Corrupt the result-layer cache entry at put time.
     CorruptResult,
+    /// An IO write persists only a prefix of its bytes, then errors.
+    IoShortWrite,
+    /// An fsync fails after the data was handed to the OS.
+    IoFsync,
+    /// The rename leg of an atomic replace fails (tmp file left behind).
+    IoRename,
+    /// A line write persists everything but its final newline — the torn
+    /// tail a `kill -9` mid-write leaves on disk.
+    IoTornTail,
+    /// An IO write fails up front with a disk-full error, writing nothing.
+    IoDiskFull,
 }
 
 impl FaultSite {
     /// Every site, in spec/reporting order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::Panic,
         FaultSite::Flaky,
         FaultSite::Delay,
@@ -79,6 +109,11 @@ impl FaultSite {
         FaultSite::ForcedDeadline,
         FaultSite::CorruptRef,
         FaultSite::CorruptResult,
+        FaultSite::IoShortWrite,
+        FaultSite::IoFsync,
+        FaultSite::IoRename,
+        FaultSite::IoTornTail,
+        FaultSite::IoDiskFull,
     ];
 
     /// The stable lowercase name used by `--chaos` specs and docs.
@@ -91,6 +126,11 @@ impl FaultSite {
             FaultSite::ForcedDeadline => "deadline",
             FaultSite::CorruptRef => "corrupt-ref",
             FaultSite::CorruptResult => "corrupt-result",
+            FaultSite::IoShortWrite => "io-short-write",
+            FaultSite::IoFsync => "io-fsync",
+            FaultSite::IoRename => "io-rename",
+            FaultSite::IoTornTail => "io-torn-tail",
+            FaultSite::IoDiskFull => "io-disk-full",
         }
     }
 
@@ -110,6 +150,11 @@ impl FaultSite {
             FaultSite::ForcedDeadline => 0xa076_1d64_78bd_642f,
             FaultSite::CorruptRef => 0xe703_7ed1_a0b4_28db,
             FaultSite::CorruptResult => 0x8ebc_6af0_9c88_c6e3,
+            FaultSite::IoShortWrite => 0xc2b2_ae3d_27d4_eb4f,
+            FaultSite::IoFsync => 0x1656_67b1_9e37_79f9,
+            FaultSite::IoRename => 0x27d4_eb2f_1656_67c5,
+            FaultSite::IoTornTail => 0x85eb_ca77_c2b2_ae63,
+            FaultSite::IoDiskFull => 0xff51_afd7_ed55_8ccd,
         }
     }
 }
@@ -251,25 +296,9 @@ impl FaultPlan {
     }
 }
 
-/// `splitmix64` finalizer — the standard 64-bit avalanche mix.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// The per-task chaos key: the instance content hash mixed with the task's
-/// solving parameters. Content-addressed like the cache, so duplicate tasks
-/// draw identical faults (required for report determinism) while distinct
-/// grid cells draw independently.
-pub fn task_key(task: &SolveTask) -> u64 {
-    let mut h = crate::cache::instance_hash(&task.instance);
-    h ^= splitmix64(task.k as u64);
-    h = h.rotate_left(17) ^ splitmix64(task.machines as u64);
-    h = h.rotate_left(17) ^ splitmix64(task.algo.name().len() as u64 ^ (task.algo as u64) << 8);
-    h.rotate_left(17) ^ splitmix64(task.exact_ref as u64)
-}
+// The hash primitives live in `cache.rs` (always compiled — the sweep
+// planner keys chunks with them); re-export so chaos callers keep working.
+pub use crate::cache::{splitmix64, task_key};
 
 /// A task's chaos handle: the armed plan plus this task's content key.
 /// Carried on [`TaskCtx`](crate::cancel::TaskCtx) so the stage boundary in

@@ -1,0 +1,344 @@
+//! Fault-injectable filesystem primitives.
+//!
+//! Every durable write in the system — the sweep shard files and checkpoint
+//! manifest (`pobp-sweep`), the serve journal and snapshot (`pobp-serve`) —
+//! goes through an [`IoGuard`] instead of calling `std::fs` directly. In a
+//! default build the guard is a zero-sized pass-through: every method
+//! compiles down to the underlying `write_all`/`sync_all`/`rename` call. In
+//! a `chaos` build the guard can be **armed** with a
+//! `FaultPlan`, and then every operation first
+//! consults the plan's IO sites (`io-short-write`, `io-fsync`, `io-rename`,
+//! `io-torn-tail`, `io-disk-full`).
+//!
+//! Determinism: an armed guard carries a base content key and a per-guard
+//! operation counter; operation `i` draws its fault decisions from
+//! `(seed, site, base ^ splitmix64(i))`. The op stream of a writer is a
+//! pure function of *what* it writes (not of thread scheduling), so a
+//! chaos-seeded sweep injects the same IO faults at the same byte offsets
+//! under any `--threads` — which is what lets the resume proptests replay a
+//! failure and assert byte-identical recovery. See `docs/sweeps.md`.
+//!
+//! Fault semantics mirror what real filesystems do:
+//!
+//! * **disk-full** fails up front, persisting nothing;
+//! * **short-write** persists a strict prefix, then fails (a partial
+//!   `write(2)` return the caller did not loop on);
+//! * **torn-tail** persists a line's bytes *without* the final newline,
+//!   then fails — exactly the state a `kill -9` between `write` and the
+//!   newline flush leaves behind, and the state the journal/shard readers
+//!   must recover from;
+//! * **fsync** fails before syncing: the data may sit in the page cache but
+//!   the caller must assume it is not durable;
+//! * **rename** fails the publish leg of an atomic replace: the synced tmp
+//!   file exists, the destination is untouched.
+//!
+//! After any injected (or real) error the *caller* decides policy; the
+//! guard never retries and never hides an error. Writers that cannot
+//! re-establish a known-good file state after a failed append (the serve
+//! journal) poison themselves rather than keep appending after a tear.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+#[cfg(feature = "chaos")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "chaos")]
+use std::sync::Arc;
+
+#[cfg(feature = "chaos")]
+use crate::cache::splitmix64;
+#[cfg(feature = "chaos")]
+use crate::chaos::{FaultPlan, FaultSite};
+
+/// A fault-injectable handle over durable-write primitives. Inert (a plain
+/// pass-through to `std::fs`) unless armed with a chaos plan.
+#[derive(Debug, Default)]
+pub struct IoGuard {
+    #[cfg(feature = "chaos")]
+    armed: Option<ArmedIo>,
+}
+
+#[cfg(feature = "chaos")]
+#[derive(Debug)]
+struct ArmedIo {
+    plan: Arc<FaultPlan>,
+    base: u64,
+    ops: AtomicU64,
+}
+
+impl IoGuard {
+    /// An inert guard: every operation is the plain `std::fs` call.
+    pub fn inert() -> Self {
+        IoGuard::default()
+    }
+
+    /// A guard armed with `plan`, drawing decisions keyed off `base` (the
+    /// writer's content key — e.g. a sweep chunk key or the journal key).
+    #[cfg(feature = "chaos")]
+    pub fn armed(plan: Arc<FaultPlan>, base: u64) -> Self {
+        IoGuard { armed: Some(ArmedIo { plan, base, ops: AtomicU64::new(0) }) }
+    }
+
+    /// Derives a sub-guard with an independent key and a fresh op counter
+    /// (e.g. one per shard file off the sweep's root guard). Inert guards
+    /// fork inert guards.
+    pub fn fork(&self, salt: u64) -> IoGuard {
+        #[cfg(feature = "chaos")]
+        if let Some(a) = &self.armed {
+            return IoGuard::armed(Arc::clone(&a.plan), a.base ^ splitmix64(salt ^ 0x5851_f42d_4c95_7f2d));
+        }
+        let _ = salt;
+        IoGuard::inert()
+    }
+
+    /// Whether this guard can inject faults (always false without `chaos`).
+    pub fn is_armed(&self) -> bool {
+        #[cfg(feature = "chaos")]
+        {
+            self.armed.is_some()
+        }
+        #[cfg(not(feature = "chaos"))]
+        {
+            false
+        }
+    }
+
+    /// Draws the fault (if any) for the next operation. Exactly one draw
+    /// per public op, so op indices track operations, not site probes.
+    #[cfg(feature = "chaos")]
+    fn draw(&self, sites: &[FaultSite]) -> Option<FaultSite> {
+        let a = self.armed.as_ref()?;
+        let op = a.ops.fetch_add(1, Ordering::Relaxed);
+        let key = a.base ^ splitmix64(op);
+        sites.iter().copied().find(|&s| a.plan.fires(s, key))
+    }
+
+    /// Builds the injected-error value for `site` and counts it.
+    #[cfg(feature = "chaos")]
+    fn injected(site: FaultSite) -> io::Error {
+        match site {
+            FaultSite::IoShortWrite => pobp_core::obs_count!("chaos.io.short_write"),
+            FaultSite::IoFsync => pobp_core::obs_count!("chaos.io.fsync"),
+            FaultSite::IoRename => pobp_core::obs_count!("chaos.io.rename"),
+            FaultSite::IoTornTail => pobp_core::obs_count!("chaos.io.torn_tail"),
+            FaultSite::IoDiskFull => pobp_core::obs_count!("chaos.io.disk_full"),
+            _ => {}
+        }
+        io::Error::other(format!("chaos: injected io fault (site={})", site.name()))
+    }
+
+    /// Appends `line` plus a trailing newline to `file`, without flushing.
+    /// `line` must not itself contain a newline.
+    ///
+    /// Fault sites, in precedence order: `io-disk-full` (nothing written),
+    /// `io-short-write` (half the line written), `io-torn-tail` (the whole
+    /// line written but no newline).
+    pub fn append_line(&self, file: &mut File, line: &[u8]) -> io::Result<()> {
+        debug_assert!(!line.contains(&b'\n'), "append_line takes a single line");
+        #[cfg(feature = "chaos")]
+        if let Some(site) =
+            self.draw(&[FaultSite::IoDiskFull, FaultSite::IoShortWrite, FaultSite::IoTornTail])
+        {
+            match site {
+                FaultSite::IoShortWrite => {
+                    file.write_all(&line[..line.len() / 2])?;
+                    let _ = file.flush();
+                }
+                FaultSite::IoTornTail => {
+                    file.write_all(line)?;
+                    let _ = file.flush();
+                }
+                _ => {}
+            }
+            return Err(Self::injected(site));
+        }
+        file.write_all(line)?;
+        file.write_all(b"\n")
+    }
+
+    /// Flushes `file` and fsyncs it to disk. The `io-fsync` site fails
+    /// before syncing: the bytes may be in the page cache, but the caller
+    /// must treat them as not durable.
+    pub fn fsync(&self, file: &mut File) -> io::Result<()> {
+        file.flush()?;
+        #[cfg(feature = "chaos")]
+        if let Some(site) = self.draw(&[FaultSite::IoFsync]) {
+            return Err(Self::injected(site));
+        }
+        file.sync_all()
+    }
+
+    /// Creates (truncating) `path` and writes `bytes` followed by an fsync.
+    /// Subject to `io-disk-full`, `io-short-write`, and `io-fsync` (one
+    /// draw; disk-full and short-write take precedence).
+    pub fn write_file_bytes(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        #[cfg(feature = "chaos")]
+        if let Some(site) =
+            self.draw(&[FaultSite::IoDiskFull, FaultSite::IoShortWrite, FaultSite::IoFsync])
+        {
+            match site {
+                FaultSite::IoShortWrite => {
+                    let mut f = File::create(path)?;
+                    f.write_all(&bytes[..bytes.len() / 2])?;
+                }
+                FaultSite::IoFsync => {
+                    let mut f = File::create(path)?;
+                    f.write_all(bytes)?;
+                }
+                _ => {}
+            }
+            return Err(Self::injected(site));
+        }
+        let mut f = File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    /// Renames `from` to `to` — the publish leg of an atomic replace. The
+    /// `io-rename` site fails without touching either path.
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        #[cfg(feature = "chaos")]
+        if let Some(site) = self.draw(&[FaultSite::IoRename]) {
+            return Err(Self::injected(site));
+        }
+        fs::rename(from, to)
+    }
+
+    /// Atomically replaces `path` with `bytes`: write `path.tmp`, fsync,
+    /// rename over `path`. On any failure `path` still holds its previous
+    /// contents (at worst a stale `.tmp` is left behind, which a later
+    /// replace overwrites).
+    pub fn atomic_replace(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        self.write_file_bytes(&tmp, bytes)?;
+        self.rename(&tmp, path)
+    }
+
+    /// Opens `path` for appending (creating it if absent), untouched by
+    /// fault sites — open itself is not a modeled failure point.
+    pub fn open_append(&self, path: &Path) -> io::Result<File> {
+        OpenOptions::new().create(true).append(true).open(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("pobp-io-{tag}-{}-{:?}", std::process::id(), std::thread::current().id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn inert_guard_is_a_plain_writer() {
+        let dir = tmpdir("inert");
+        let g = IoGuard::inert();
+        assert!(!g.is_armed());
+        let p = dir.join("a.jsonl");
+        let mut f = g.open_append(&p).unwrap();
+        g.append_line(&mut f, b"{\"x\":1}").unwrap();
+        g.append_line(&mut f, b"{\"x\":2}").unwrap();
+        g.fsync(&mut f).unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "{\"x\":1}\n{\"x\":2}\n");
+        g.atomic_replace(&p, b"fresh\n").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "fresh\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos {
+        use super::*;
+        use crate::chaos::{FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        fn armed(site: FaultSite) -> IoGuard {
+            let plan = Arc::new(FaultPlan::new(7).with_rate(site, 1.0));
+            IoGuard::armed(plan, 0xabcd)
+        }
+
+        #[test]
+        fn torn_tail_drops_only_the_newline() {
+            let dir = tmpdir("torn");
+            let g = armed(FaultSite::IoTornTail);
+            let p = dir.join("a.jsonl");
+            let mut f = g.open_append(&p).unwrap();
+            let err = g.append_line(&mut f, b"{\"x\":1}").unwrap_err();
+            assert!(err.to_string().contains("chaos: injected"));
+            assert_eq!(fs::read_to_string(&p).unwrap(), "{\"x\":1}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn short_write_persists_a_strict_prefix() {
+            let dir = tmpdir("short");
+            let g = armed(FaultSite::IoShortWrite);
+            let p = dir.join("a.jsonl");
+            let mut f = g.open_append(&p).unwrap();
+            g.append_line(&mut f, b"0123456789").unwrap_err();
+            assert_eq!(fs::read_to_string(&p).unwrap(), "01234");
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn disk_full_persists_nothing() {
+            let dir = tmpdir("full");
+            let g = armed(FaultSite::IoDiskFull);
+            let p = dir.join("a.jsonl");
+            let mut f = g.open_append(&p).unwrap();
+            g.append_line(&mut f, b"{\"x\":1}").unwrap_err();
+            assert_eq!(fs::read_to_string(&p).unwrap(), "");
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn failed_rename_leaves_the_destination_untouched() {
+            let dir = tmpdir("rename");
+            let g = armed(FaultSite::IoRename);
+            let p = dir.join("a.json");
+            fs::write(&p, "old").unwrap();
+            let err = g.atomic_replace(&p, b"new").unwrap_err();
+            assert!(err.to_string().contains("io-rename"));
+            assert_eq!(fs::read_to_string(&p).unwrap(), "old");
+            // The synced tmp is allowed to linger; a retry overwrites it.
+            assert_eq!(fs::read_to_string(p.with_extension("tmp")).unwrap(), "new");
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn op_stream_is_deterministic_and_fork_independent() {
+            let plan = Arc::new(FaultPlan::new(3).with_rate(FaultSite::IoTornTail, 0.5));
+            let draws = |g: &IoGuard| -> Vec<bool> {
+                (0..64)
+                    .map(|_| g.draw(&[FaultSite::IoTornTail]).is_some())
+                    .collect()
+            };
+            let a = draws(&IoGuard::armed(Arc::clone(&plan), 42));
+            let b = draws(&IoGuard::armed(Arc::clone(&plan), 42));
+            assert_eq!(a, b, "same key, same op stream");
+            let root = IoGuard::armed(Arc::clone(&plan), 42);
+            let f1 = draws(&root.fork(1));
+            let f2 = draws(&root.fork(2));
+            assert_ne!(f1, f2, "forks draw independently");
+            assert_eq!(f1, draws(&root.fork(1)), "forks are reproducible");
+        }
+
+        #[test]
+        fn fsync_site_fails_the_flush() {
+            let dir = tmpdir("fsync");
+            let g = armed(FaultSite::IoFsync);
+            let p = dir.join("a.jsonl");
+            let mut f = g.open_append(&p).unwrap();
+            // append_line draws disk-full/short-write/torn-tail only, so it
+            // succeeds; the fsync op then fails.
+            g.append_line(&mut f, b"{\"x\":1}").unwrap();
+            let err = g.fsync(&mut f).unwrap_err();
+            assert!(err.to_string().contains("io-fsync"));
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}

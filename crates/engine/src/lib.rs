@@ -72,11 +72,13 @@ pub mod cert;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 pub mod grid;
+pub mod io;
 pub mod pool;
 mod solve;
 pub mod task;
 
-pub use cache::{instance_hash, CachedResult, RefSolution, ResultCache};
+pub use cache::{instance_hash, splitmix64, task_key, CachedResult, RefSolution, ResultCache};
+pub use io::IoGuard;
 pub use cancel::{CancelToken, StopReason, TaskCtx};
 pub use cert::{CertFailure, CertStage};
 #[cfg(feature = "chaos")]

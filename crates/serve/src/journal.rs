@@ -24,6 +24,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 use pobp_core::{obs_count, obs_event};
+use pobp_engine::IoGuard;
 
 use crate::json::{obj, Json};
 use crate::registry::{Event, Registry};
@@ -60,6 +61,14 @@ pub struct Journal {
     compact_every: u64,
     /// Total compactions performed by this handle.
     compactions: u64,
+    /// Every durable write goes through the guard — inert in default
+    /// builds, armable with the io-* chaos sites (docs/sweeps.md).
+    guard: IoGuard,
+    /// Set when an append failed mid-line: the file may carry a torn tail,
+    /// and appending onto it would corrupt the next record. Further
+    /// appends are refused until a successful compaction truncates the
+    /// journal back to a clean state.
+    poisoned: bool,
 }
 
 impl Journal {
@@ -80,8 +89,16 @@ impl Journal {
         let pending = report.replayed;
         let compact_every = compact_every.max(1);
         obs_event!("serve.recover.replayed", report.replayed);
-        let mut journal =
-            Journal { dir: dir.to_path_buf(), file, seq, pending, compact_every, compactions: 0 };
+        let mut journal = Journal {
+            dir: dir.to_path_buf(),
+            file,
+            seq,
+            pending,
+            compact_every,
+            compactions: 0,
+            guard: IoGuard::inert(),
+            poisoned: false,
+        };
         // A crash mid-append can leave the file without a final newline —
         // either a torn half-record, or a complete record whose newline
         // never landed. Appending onto such a file would corrupt the next
@@ -93,19 +110,41 @@ impl Journal {
         Ok((journal, registry, report))
     }
 
+    /// Arms the io-* fault sites under every subsequent append/compaction
+    /// (`pobp serve --chaos`; see docs/sweeps.md for the sites).
+    #[cfg(feature = "chaos")]
+    pub fn set_chaos(&mut self, plan: std::sync::Arc<pobp_engine::FaultPlan>, key: u64) {
+        self.guard = IoGuard::armed(plan, key);
+    }
+
     /// Appends one event and flushes it to the OS before returning, so a
     /// subsequent `kill -9` cannot lose it. Returns the record's sequence
-    /// number.
+    /// number. On an IO failure the journal poisons itself — the file may
+    /// hold a torn tail, and blindly appending more records onto it would
+    /// break the one-torn-line recovery assumption — until a compaction
+    /// re-establishes a clean file.
     pub fn append(&mut self, event: &Event) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "journal poisoned by an earlier append failure (awaiting compaction)",
+            ));
+        }
         self.seq += 1;
         let mut record = event.to_json();
         if let Json::Obj(pairs) = &mut record {
             pairs.insert(0, ("seq".into(), Json::Num(self.seq as f64)));
         }
-        let mut line = record.to_string();
-        line.push('\n');
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()?;
+        let line = record.to_string();
+        if let Err(e) = self
+            .guard
+            .append_line(&mut self.file, line.as_bytes())
+            .and_then(|()| self.file.flush())
+        {
+            self.seq -= 1;
+            self.poisoned = true;
+            obs_count!("serve.journal.append_failures");
+            return Err(e);
+        }
         self.pending += 1;
         obs_count!("serve.journal.appends");
         Ok(self.seq)
@@ -125,19 +164,19 @@ impl Journal {
     pub fn compact(&mut self, registry: &Registry) -> io::Result<()> {
         let tmp = self.dir.join("snapshot.json.tmp");
         let snap = self.dir.join("snapshot.json");
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(registry.to_snapshot_json(self.seq).to_string().as_bytes())?;
-            f.write_all(b"\n")?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, &snap)?;
+        let mut bytes = registry.to_snapshot_json(self.seq).to_string().into_bytes();
+        bytes.push(b'\n');
+        self.guard.write_file_bytes(&tmp, &bytes)?;
+        self.guard.rename(&tmp, &snap)?;
         // Crash window: snapshot covers seq ≤ self.seq, journal still holds
         // those records. Recovery skips them, so this truncate is merely an
         // optimisation that can safely be lost.
         self.file.set_len(0)?;
         self.pending = 0;
         self.compactions += 1;
+        // The journal file is empty again: any torn tail from a failed
+        // append is gone, so appends are safe once more.
+        self.poisoned = false;
         obs_count!("serve.journal.compactions");
         Ok(())
     }

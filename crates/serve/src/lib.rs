@@ -11,7 +11,9 @@
 //!
 //! Layering (each module only calls downward):
 //!
-//! * [`json`] — minimal total JSON parser/writer (no external deps).
+//! * [`json`] — re-export of [`pobp_core::json`], the workspace's minimal
+//!   total JSON parser/writer (it moved down to core so `pobp-sweep`'s
+//!   checkpoint manifests share it).
 //! * [`job`] — [`JobSpec`]/[`JobStatus`]: the job model and content key.
 //! * [`registry`] — the event-sourced id → record map.
 //! * [`journal`] — append-only persistence + snapshot compaction.
@@ -24,7 +26,7 @@
 pub mod client;
 pub mod job;
 pub mod journal;
-pub mod json;
+pub use pobp_core::json;
 pub mod proto;
 pub mod registry;
 pub mod server;

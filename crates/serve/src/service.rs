@@ -65,6 +65,10 @@ pub struct ServiceConfig {
     pub degrade: bool,
     /// Journal appends between snapshot compactions.
     pub compact_every: u64,
+    /// Arm deterministic IO fault injection (the io-* sites in
+    /// docs/sweeps.md) under the journal's appends and compactions.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<Arc<pobp_engine::FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +80,8 @@ impl Default for ServiceConfig {
             engine_threads: 1,
             degrade: false,
             compact_every: DEFAULT_COMPACT_EVERY,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 }
@@ -200,6 +206,24 @@ impl Service {
     /// Recovers the registry from `cfg.dir` and starts the worker pool.
     pub fn start(cfg: ServiceConfig) -> io::Result<Service> {
         let (journal, mut registry, recovery) = Journal::open(&cfg.dir, cfg.compact_every)?;
+        // Arm IO fault injection after recovery: recovery itself is
+        // read-only, and the startup compaction must succeed so the
+        // injected faults land on a known-clean journal.
+        #[cfg(feature = "chaos")]
+        let journal = {
+            let mut journal = journal;
+            if let Some(plan) = cfg.chaos.clone() {
+                let key = cfg
+                    .dir
+                    .to_string_lossy()
+                    .bytes()
+                    .fold(0x6a6f_7572_6e61_6c30_u64, |h, b| {
+                        pobp_engine::splitmix64(h ^ u64::from(b))
+                    });
+                journal.set_chaos(plan, key);
+            }
+            journal
+        };
         let pending = registry.recover_pending();
         let mut queue = BinaryHeap::new();
         let mut key_index = HashMap::new();

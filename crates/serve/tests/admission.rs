@@ -28,6 +28,8 @@ fn cfg(dir: &Path, workers: usize, queue_cap: usize) -> ServiceConfig {
         engine_threads: 1,
         degrade: false,
         compact_every: 10_000,
+        #[cfg(feature = "chaos")]
+        chaos: None,
     }
 }
 

@@ -39,6 +39,8 @@ impl TestDaemon {
             engine_threads: 1,
             degrade: false,
             compact_every: 256,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         };
         let service = Arc::new(Service::start(cfg).unwrap());
         let handle = std::thread::spawn(move || serve_listener(listener, service));

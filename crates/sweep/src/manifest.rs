@@ -1,0 +1,241 @@
+//! The checkpoint manifest: `manifest.json` in the sweep output directory.
+//!
+//! The manifest is the sweep's single source of durable truth: the spec
+//! (canonical string + digest) and, per **completed** chunk, the chunk's
+//! content key and the shard file's row count, byte length, and FNV-1a
+//! digest. It is rewritten after every chunk completion with the same
+//! tmp → fsync → rename discipline as the serve registry's snapshots
+//! (through [`IoGuard::atomic_replace`]), so at every instant the file on
+//! disk is either the previous manifest or the next one — never a torn
+//! in-between. A chunk is *recorded only after* its shard file is fsynced,
+//! which gives the resume invariant: every chunk the manifest lists is
+//! fully on disk.
+//!
+//! 64-bit keys and digests are stored as hex **strings** (`"0x…"`), not
+//! JSON numbers — the workspace's JSON numbers are `f64`, which holds only
+//! 53 exact bits. See `docs/sweeps.md` for the schema.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pobp_core::json::{obj, Json};
+use pobp_engine::IoGuard;
+
+/// Schema version written by this build.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// The manifest file name inside the sweep directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Accounting for one completed chunk.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChunkRecord {
+    /// The chunk's position in the plan.
+    pub index: usize,
+    /// The chunk's content key ([`ChunkPlan::key`](crate::plan::ChunkPlan)).
+    pub key: u64,
+    /// Complete rows in the shard file.
+    pub rows: u64,
+    /// Shard file length in bytes.
+    pub bytes: u64,
+    /// FNV-1a digest of the shard file's bytes.
+    pub digest: u64,
+}
+
+/// The parsed (or to-be-written) checkpoint manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Schema version.
+    pub version: u64,
+    /// The canonical spec string ([`SweepSpec::spec_string`](crate::plan::SweepSpec)).
+    pub spec: String,
+    /// FNV-1a digest of `spec`.
+    pub spec_digest: u64,
+    /// Chunks in the full plan.
+    pub chunks_total: usize,
+    /// Completed chunks, in completion (= plan) order.
+    pub done: Vec<ChunkRecord>,
+}
+
+impl Manifest {
+    /// A fresh manifest for a new sweep.
+    pub fn fresh(spec: String, spec_digest: u64, chunks_total: usize) -> Self {
+        Manifest { version: MANIFEST_VERSION, spec, spec_digest, chunks_total, done: Vec::new() }
+    }
+
+    /// The completed chunk record for `index`, if any.
+    pub fn record(&self, index: usize) -> Option<&ChunkRecord> {
+        self.done.iter().find(|r| r.index == index)
+    }
+
+    /// Serializes to the canonical JSON document (single line + newline).
+    pub fn to_json(&self) -> String {
+        let chunks: Vec<Json> = self
+            .done
+            .iter()
+            .map(|r| {
+                obj([
+                    ("index", Json::Num(r.index as f64)),
+                    ("key", Json::Str(format!("{:#018x}", r.key))),
+                    ("rows", Json::Num(r.rows as f64)),
+                    ("bytes", Json::Num(r.bytes as f64)),
+                    ("digest", Json::Str(format!("{:#018x}", r.digest))),
+                ])
+            })
+            .collect();
+        let doc = obj([
+            ("version", Json::Num(self.version as f64)),
+            ("spec", Json::Str(self.spec.clone())),
+            ("spec_digest", Json::Str(format!("{:#018x}", self.spec_digest))),
+            ("chunks_total", Json::Num(self.chunks_total as f64)),
+            ("done", Json::Arr(chunks)),
+        ]);
+        format!("{doc}\n")
+    }
+
+    /// Parses a manifest document. Structured errors, never a panic — the
+    /// input may be any bytes (though the atomic-replace discipline means a
+    /// torn manifest indicates something worse than a crash).
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let doc = Json::parse(text.trim_end()).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("manifest: missing version")?;
+        if version != MANIFEST_VERSION {
+            return Err(format!(
+                "manifest: version {version} (this build reads {MANIFEST_VERSION})"
+            ));
+        }
+        let spec = doc
+            .get("spec")
+            .and_then(Json::as_str)
+            .ok_or("manifest: missing spec")?
+            .to_string();
+        let spec_digest = hex_u64(doc.get("spec_digest"), "spec_digest")?;
+        let chunks_total = doc
+            .get("chunks_total")
+            .and_then(Json::as_u64)
+            .ok_or("manifest: missing chunks_total")? as usize;
+        let mut done = Vec::new();
+        for (i, c) in doc
+            .get("done")
+            .and_then(Json::as_arr)
+            .ok_or("manifest: missing done")?
+            .iter()
+            .enumerate()
+        {
+            let field = |name: &str| {
+                c.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("manifest: done[{i}]: missing {name}"))
+            };
+            done.push(ChunkRecord {
+                index: field("index")? as usize,
+                key: hex_u64(c.get("key"), "key")?,
+                rows: field("rows")?,
+                bytes: field("bytes")?,
+                digest: hex_u64(c.get("digest"), "digest")?,
+            });
+        }
+        Ok(Manifest { version, spec, spec_digest, chunks_total, done })
+    }
+
+    /// The manifest path inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Loads and parses `dir`'s manifest; `Ok(None)` when the file does
+    /// not exist, `Err` on unreadable or unparseable contents.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, String> {
+        let path = Manifest::path(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("reading {}: {e}", path.display())),
+        };
+        Manifest::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Atomically replaces `dir`'s manifest with this one (tmp → fsync →
+    /// rename, through the fault-injectable `guard`).
+    pub fn write(&self, dir: &Path, guard: &IoGuard) -> io::Result<()> {
+        guard.atomic_replace(&Manifest::path(dir), self.to_json().as_bytes())
+    }
+}
+
+/// Decodes a `"0x…"` hex-string field into a `u64`.
+fn hex_u64(v: Option<&Json>, name: &str) -> Result<u64, String> {
+    let s = v
+        .and_then(Json::as_str)
+        .ok_or(format!("manifest: missing {name}"))?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or(format!("manifest: {name} is not 0x-prefixed hex (got {s:?})"))?;
+    u64::from_str_radix(digits, 16)
+        .map_err(|e| format!("manifest: {name}: {e} (got {s:?})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            version: MANIFEST_VERSION,
+            spec: "v1;ns=6;ks=0,1;seeds=0;alg=reduction;machines=1;exact_ref=false;chunk_cells=2"
+                .into(),
+            spec_digest: 0xdead_beef_0123_4567,
+            chunks_total: 3,
+            done: vec![
+                ChunkRecord {
+                    index: 0,
+                    key: u64::MAX, // > 2^53: must survive the round-trip
+                    rows: 12,
+                    bytes: 1034,
+                    digest: 0x8000_0000_0000_0001,
+                },
+                ChunkRecord { index: 1, key: 7, rows: 12, bytes: 998, digest: 42 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_including_full_width_keys() {
+        let m = sample();
+        let parsed = Manifest::parse(&m.to_json()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.record(0).unwrap().key, u64::MAX);
+        assert!(parsed.record(2).is_none());
+    }
+
+    #[test]
+    fn malformed_manifests_error_loudly() {
+        assert!(Manifest::parse("").is_err());
+        assert!(Manifest::parse("{}").unwrap_err().contains("version"));
+        let future = sample().to_json().replace("\"version\":1", "\"version\":999");
+        assert!(Manifest::parse(&future).unwrap_err().contains("999"));
+        let bad_key = sample().to_json().replace("0xffffffffffffffff", "ffff");
+        assert!(Manifest::parse(&bad_key).unwrap_err().contains("0x-prefixed"));
+    }
+
+    #[test]
+    fn write_then_load_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("pobp-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        let m = sample();
+        m.write(&dir, &IoGuard::inert()).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m.clone()));
+        // Overwrites atomically: the tmp never shadows the real file.
+        let mut m2 = m;
+        m2.done.pop();
+        m2.write(&dir, &IoGuard::inert()).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap().unwrap().done.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

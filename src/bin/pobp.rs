@@ -13,8 +13,12 @@
 //! The instance format is the one of `pobp::prelude::{write_jobs, parse_jobs}`:
 //! one `release deadline length value` line per job.
 
-use pobp::cli::{flag, flag_value, has_flag, parse_num, parse_num_list, parse_num_strict};
+use pobp::cli::{
+    flag, flag_value, has_flag, parse_num, parse_num_list_strict,
+    parse_num_strict,
+};
 use pobp::prelude::*;
+use pobp::sweep::rows::{format_row, json_escape};
 use std::io::Read;
 
 fn main() {
@@ -115,8 +119,10 @@ USAGE:
   pobp sweep [--n LIST] [--k LIST] [--seeds S] [--alg A] [--threads N]
              [--deadline-ms MS] [--machines M] [--exact-ref] [--no-cache]
              [--retries R] [--degrade] [--progress]
+             [--out DIR] [--resume] [--chunk-cells N] [--max-chunks N]
              [--trace FILE] [--trace-logical FILE]
-                                                 (grid sweep, JSON lines on stdout)
+                                                 (grid sweep, JSON lines on stdout
+                                                  or crash-safe shards under --out)
   pobp online [--alg <djn|greedy|edf|all>] [--families LIST] [--n LIST]
               [--k LIST] [--seeds S] [--threads N] [--exact-ref] [--no-cache]
               [--retries R] [--degrade] [--deadline-ms MS] [--progress]
@@ -147,6 +153,15 @@ test-only `panic`, which exercises panic isolation). --degrade arms the
 graceful-degradation ladder (docs/robustness.md): tasks that exhaust
 retries or overrun --deadline-ms fall back to the polynomial algorithm and
 report status \"degraded\" instead of failing.
+
+sweep --out DIR switches to the crash-safe sharded mode (docs/sweeps.md):
+the grid is split into content-addressed chunks of --chunk-cells (n, seed)
+cells, each chunk's rows stream to DIR/shard-NNNNN.jsonl, and progress is
+checkpointed in DIR/manifest.json (tmp/fsync/rename). A killed sweep
+continues with --resume — completed chunks are digest-verified and
+skipped, torn shard tails are healed, only missing rows are recomputed —
+and the final DIR/merged.jsonl is byte-identical to an uninterrupted run
+(any --threads). --max-chunks N stops after N chunks (still resumable).
 
 serve starts the persistent scheduling daemon (docs/serve.md): named solve
 jobs over newline-delimited JSON on TCP, a bounded priority queue with
@@ -390,20 +405,30 @@ fn cmd_choose_k(args: &[String]) -> Result<(), String> {
 }
 
 /// `pobp sweep`: expand an (n, k, seed) grid into solver tasks and run them
-/// through the parallel batch engine, one JSON line per task on stdout.
+/// through the parallel batch engine — one JSON line per task on stdout,
+/// or, with `--out DIR`, streamed to crash-safe shard files with a
+/// checkpoint manifest and `--resume` support (docs/sweeps.md).
 ///
 /// Output lines are a pure function of the grid — no durations, no cache
 /// flags — so `--threads 4` and `--threads 1` emit byte-identical bytes
-/// (the determinism contract of docs/engine.md). The batch summary goes to
+/// (the determinism contract of docs/engine.md), and a killed `--out`
+/// sweep resumes to the same merged bytes. The batch summary goes to
 /// stderr.
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    let ns: Vec<usize> = parse_num_list(args, "--n", &[20, 40])?;
-    let ks: Vec<u32> = parse_num_list(args, "--k", &[0, 1, 2, 4])?;
-    let seed_count: u64 = parse_num(args, "--seeds", 5u64)?;
-    let threads: usize = parse_num(args, "--threads", 0usize)?;
-    let deadline_ms: u64 = parse_num(args, "--deadline-ms", 0u64)?;
-    let machines: usize = parse_num(args, "--machines", 1usize)?;
-    let retries: u32 = parse_num(args, "--retries", 1u32)?;
+    let ns: Vec<usize> = parse_num_list_strict(args, "--n", &[20, 40])?;
+    let ks: Vec<u32> = parse_num_list_strict(args, "--k", &[0, 1, 2, 4])?;
+    let seed_count: u64 = parse_num_strict(args, "--seeds", 5u64)?;
+    let threads: usize = parse_num_strict(args, "--threads", 0usize)?;
+    let deadline_ms: u64 = parse_num_strict(args, "--deadline-ms", 0u64)?;
+    let machines: usize = parse_num_strict(args, "--machines", 1usize)?;
+    let retries: u32 = parse_num_strict(args, "--retries", 1u32)?;
+    let chunk_cells: usize = parse_num_strict(args, "--chunk-cells", 8usize)?;
+    let max_chunks: usize = parse_num_strict(args, "--max-chunks", 0usize)?;
+    let out_dir = flag_value(args, "--out")?;
+    let resume = has_flag(args, "--resume");
+    if resume && out_dir.is_none() {
+        return Err("--resume needs --out DIR (the checkpoint directory)".into());
+    }
     let alg_name = flag(args, "--alg").unwrap_or_else(|| "reduction".into());
     let algo = Algo::parse(&alg_name)
         .ok_or_else(|| format!("unknown --alg {alg_name} (try reduction|combined|lsa|k0)"))?;
@@ -417,21 +442,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     #[cfg(feature = "chaos")]
     let chaos_plan = {
-        let chaos_seed: u64 = parse_num(args, "--chaos-seed", 0u64)?;
-        flag(args, "--chaos")
+        let chaos_seed: u64 = parse_num_strict(args, "--chaos-seed", 0u64)?;
+        flag_value(args, "--chaos")?
             .map(|spec| FaultPlan::parse(&spec, chaos_seed))
             .transpose()?
     };
 
-    let grid = GridSpec {
-        ns: ns.clone(),
-        ks: ks.clone(),
-        seeds: (0..seed_count).collect(),
-        algo,
-        machines,
-        exact_ref,
-    };
-    if grid.is_empty() {
+    let seeds: Vec<u64> = (0..seed_count).collect();
+    if ns.is_empty() || ks.is_empty() || seeds.is_empty() {
         return Err("empty grid: every one of --n/--k/--seeds needs at least one value".into());
     }
     let cfg = EngineConfig {
@@ -451,6 +469,56 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if has_flag(args, "--trace") || has_flag(args, "--trace-logical") {
         return Err("--trace/--trace-logical need a binary built with --features trace".into());
     }
+
+    if let Some(dir) = out_dir {
+        // Sharded, checkpointed mode: rows go to shard files under DIR,
+        // progress to manifest.json, and — once every chunk is recorded —
+        // the digest-verified merge to DIR/merged.jsonl.
+        let sweep_cfg = pobp::sweep::SweepConfig {
+            spec: pobp::sweep::SweepSpec {
+                ns,
+                ks,
+                seeds,
+                algo,
+                machines,
+                exact_ref,
+                chunk_cells,
+            },
+            engine: cfg,
+            resume,
+            max_chunks: (max_chunks > 0).then_some(max_chunks),
+            #[cfg(feature = "chaos")]
+            chaos: chaos_plan.map(std::sync::Arc::new),
+        };
+        let out = pobp::sweep::run_sweep(std::path::Path::new(&dir), &sweep_cfg)?;
+        let s = out.stats;
+        eprintln!(
+            "sweep: {}/{} chunks done ({} new, {} skipped), {} rows written, \
+             {} rows recovered, {} torn bytes healed; engine: {} tasks ({} run, {} degraded, \
+             {} cert-failed, {} panicked, {} retries) on {} threads",
+            out.chunks_skipped + out.chunks_completed,
+            out.chunks_total,
+            out.chunks_completed,
+            out.chunks_skipped,
+            out.rows_written,
+            out.rows_recovered,
+            out.torn_bytes,
+            s.tasks,
+            s.run,
+            s.degraded,
+            s.cert_failed,
+            s.panicked,
+            s.retried,
+            if threads == 0 { "auto".to_string() } else { threads.to_string() },
+        );
+        match &out.merged {
+            Some(path) => eprintln!("sweep: merged output at {}", path.display()),
+            None => eprintln!("sweep: incomplete — rerun with --resume to continue"),
+        }
+        return emit_trace_reports(args);
+    }
+
+    let grid = GridSpec { ns: ns.clone(), ks: ks.clone(), seeds, algo, machines, exact_ref };
     #[cfg(feature = "chaos")]
     let batch = match chaos_plan {
         Some(plan) => Engine::with_chaos(cfg, plan).run_batch(&grid.tasks()),
@@ -460,7 +528,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let batch = pobp::engine::run_batch(&grid.tasks(), cfg);
 
     // Rebuild the grid coordinates in task order (ns × seeds × ks — the
-    // GridSpec expansion order) and emit one JSON line per report.
+    // GridSpec expansion order) and emit one JSON line per report, through
+    // the same formatter the shard writer uses (byte-identical rows).
     let mut coords = Vec::with_capacity(grid.len());
     for &n in &ns {
         for &seed in &grid.seeds {
@@ -470,37 +539,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
     }
     for (&(n, k, seed), report) in coords.iter().zip(&batch.reports) {
-        let mut line = format!(
-            "{{\"n\":{n},\"k\":{k},\"seed\":{seed},\"alg\":\"{}\",\"machines\":{machines},\
-             \"status\":\"{}\",\"attempts\":{}",
-            algo.name(),
-            report.result.status(),
-            report.attempts,
-        );
-        match &report.result {
-            TaskResult::Done(out) => push_output_fields(&mut line, out),
-            TaskResult::Degraded { fallback, cause, output } => {
-                line.push_str(&format!(
-                    ",\"fallback\":\"{}\",\"cause\":\"{}\"",
-                    fallback.name(),
-                    cause.name(),
-                ));
-                push_output_fields(&mut line, output);
-            }
-            TaskResult::CertFailed { stage, reason } => {
-                line.push_str(&format!(
-                    ",\"stage\":\"{}\",\"reason\":\"{}\"",
-                    stage.name(),
-                    json_escape(reason),
-                ));
-            }
-            TaskResult::Panicked { message } => {
-                line.push_str(&format!(",\"message\":\"{}\"", json_escape(message)));
-            }
-            TaskResult::TimedOut | TaskResult::Cancelled => {}
-        }
-        line.push('}');
-        println!("{line}");
+        println!("{}", format_row(n, k, seed, algo, machines, report));
     }
     let s = batch.stats;
     eprintln!(
@@ -546,12 +585,12 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
         None => ZOO_FAMILIES.to_vec(),
     };
-    let ns: Vec<usize> = parse_num_list(args, "--n", &[8, 16])?;
-    let ks: Vec<u32> = parse_num_list(args, "--k", &[1, 2])?;
-    let seed_count: u64 = parse_num(args, "--seeds", 3u64)?;
-    let threads: usize = parse_num(args, "--threads", 0usize)?;
-    let deadline_ms: u64 = parse_num(args, "--deadline-ms", 0u64)?;
-    let retries: u32 = parse_num(args, "--retries", 1u32)?;
+    let ns: Vec<usize> = parse_num_list_strict(args, "--n", &[8, 16])?;
+    let ks: Vec<u32> = parse_num_list_strict(args, "--k", &[1, 2])?;
+    let seed_count: u64 = parse_num_strict(args, "--seeds", 3u64)?;
+    let threads: usize = parse_num_strict(args, "--threads", 0usize)?;
+    let deadline_ms: u64 = parse_num_strict(args, "--deadline-ms", 0u64)?;
+    let retries: u32 = parse_num_strict(args, "--retries", 1u32)?;
     let exact_ref = has_flag(args, "--exact-ref");
     let algs: Vec<Algo> = match flag(args, "--alg").as_deref().unwrap_or("all") {
         "all" => vec![Algo::OnlineDjn, Algo::OnlineGreedy, Algo::OnlineEdf],
@@ -573,8 +612,8 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
     }
     #[cfg(feature = "chaos")]
     let chaos_plan = {
-        let chaos_seed: u64 = parse_num(args, "--chaos-seed", 0u64)?;
-        flag(args, "--chaos")
+        let chaos_seed: u64 = parse_num_strict(args, "--chaos-seed", 0u64)?;
+        flag_value(args, "--chaos")?
             .map(|spec| FaultPlan::parse(&spec, chaos_seed))
             .transpose()?
     };
@@ -736,34 +775,6 @@ fn cmd_online(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Appends the certified output fields shared by `ok` and `degraded` rows.
-fn push_output_fields(line: &mut String, out: &SolveOutput) {
-    line.push_str(&format!(
-        ",\"value\":{},\"ref_value\":{},\"scheduled\":{},\"preemptions\":{}",
-        out.alg_value, out.ref_value, out.scheduled, out.preemptions,
-    ));
-    if let Some(p) = out.price() {
-        line.push_str(&format!(",\"price\":{p}"));
-    }
-}
-
-/// Minimal JSON string escaping for panic messages.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// `pobp serve`: the persistent scheduling daemon (docs/serve.md). Binds
 /// the address, recovers the registry from `--dir`, prints the two startup
 /// lines (`listening on` / `recovered`), and blocks until a client sends
@@ -772,6 +783,17 @@ fn json_escape(s: &str) -> String {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr = flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7411".into());
     let dir = flag_value(args, "--dir")?.unwrap_or_else(|| "pobp-serve-registry".into());
+    #[cfg(not(feature = "chaos"))]
+    if flag(args, "--chaos").is_some() || flag(args, "--chaos-seed").is_some() {
+        return Err("--chaos/--chaos-seed need a binary built with --features chaos".into());
+    }
+    #[cfg(feature = "chaos")]
+    let chaos_plan = {
+        let chaos_seed: u64 = parse_num_strict(args, "--chaos-seed", 0u64)?;
+        flag_value(args, "--chaos")?
+            .map(|spec| FaultPlan::parse(&spec, chaos_seed))
+            .transpose()?
+    };
     let cfg = pobp::serve::ServiceConfig {
         dir: dir.into(),
         workers: parse_num_strict(args, "--workers", 2usize)?.max(1),
@@ -779,6 +801,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         engine_threads: parse_num_strict(args, "--engine-threads", 1usize)?,
         degrade: has_flag(args, "--degrade"),
         compact_every: parse_num_strict(args, "--compact-every", 256u64)?,
+        #[cfg(feature = "chaos")]
+        chaos: chaos_plan.map(std::sync::Arc::new),
     };
     pobp::serve::run_server(&addr, cfg).map_err(|e| format!("serve: {e}"))?;
     emit_trace_reports(args)

@@ -23,6 +23,10 @@
 //!   isolation, deadlines, result caching, certified outputs, graceful
 //!   degradation, and — with `--features chaos` — deterministic fault
 //!   injection; `docs/engine.md`, `docs/robustness.md`);
+//! * [`sweep`] — crash-safe mega-sweeps behind `pobp sweep --out DIR`:
+//!   content-addressed chunk planning, sharded output with checkpoint
+//!   manifests, and `--resume` with torn-tail recovery and digest-verified
+//!   merging (`docs/sweeps.md`);
 //! * [`serve`] — the persistent scheduling service behind `pobp serve`:
 //!   a line-protocol daemon with admission control, per-job cancel, and a
 //!   durable job registry that survives `kill -9` (`docs/serve.md`).
@@ -74,6 +78,7 @@ pub use pobp_instances as instances;
 pub use pobp_sched as sched;
 pub use pobp_serve as serve;
 pub use pobp_sim as sim;
+pub use pobp_sweep as sweep;
 
 pub use pobp_core::cli;
 

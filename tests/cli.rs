@@ -407,3 +407,105 @@ fn sweep_progress_renders_a_meter() {
     assert!(err.contains("rows/s"), "{err}");
     assert!(err.contains("p50"), "{err}");
 }
+
+#[test]
+fn sweep_and_online_numeric_flag_errors_are_loud_and_never_run() {
+    // A numeric flag that trails (or swallows the next flag) must fail
+    // naming the flag, before any solving starts — the strict-parsing
+    // contract `pobp serve` already follows.
+    for (args, flag) in [
+        (&["sweep", "--seeds"][..], "--seeds"),
+        (&["sweep", "--n"][..], "--n"),
+        (&["sweep", "--threads", "--n", "8"][..], "--threads"),
+        (&["sweep", "--chunk-cells", "many", "--out", "x"][..], "--chunk-cells"),
+        (&["sweep", "--max-chunks"][..], "--max-chunks"),
+        (&["online", "--seeds"][..], "--seeds"),
+        (&["online", "--k", "--seeds", "1"][..], "--k"),
+        (&["online", "--deadline-ms", "fast"][..], "--deadline-ms"),
+    ] {
+        let (out, err, ok) = run(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(err.contains(flag), "error must name {flag}: {err}");
+        assert!(out.is_empty(), "{args:?} must not emit rows: {out}");
+    }
+}
+
+#[test]
+fn sweep_resume_requires_an_out_dir() {
+    let (_, err, ok) = run(&["sweep", "--resume", "--n", "8", "--k", "0", "--seeds", "1"]);
+    assert!(!ok);
+    assert!(err.contains("--resume needs --out"), "{err}");
+}
+
+#[test]
+fn sweep_sharded_mode_merges_byte_identical_to_stdout_mode() {
+    let dir = std::env::temp_dir().join(format!("pobp-cli-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let grid = &["--n", "8,10", "--k", "0,1", "--seeds", "2"];
+
+    let (stdout_rows, _, ok) = run(&[&["sweep"], grid as &[&str]].concat());
+    assert!(ok);
+
+    let dir_s = dir.to_str().unwrap();
+    let sharded = [
+        &["sweep"],
+        grid as &[&str],
+        &["--out", dir_s, "--chunk-cells", "1", "--threads", "2"],
+    ]
+    .concat();
+    let (out, err, ok) = run(&sharded);
+    assert!(ok, "{err}");
+    assert!(out.is_empty(), "sharded mode keeps stdout clean: {out}");
+    assert!(err.contains("merged output at"), "{err}");
+    let merged = std::fs::read_to_string(dir.join("merged.jsonl")).unwrap();
+    assert_eq!(merged, stdout_rows, "merged shards must equal the streaming rows");
+
+    // Re-running into the same directory without --resume is refused…
+    let (_, err, ok) = run(&sharded);
+    assert!(!ok);
+    assert!(err.contains("--resume"), "{err}");
+    // …and --resume over a complete sweep recomputes nothing.
+    let resumed = [&sharded[..], &["--resume"]].concat();
+    let (_, err, ok) = run(&resumed);
+    assert!(ok, "{err}");
+    assert!(err.contains("0 rows written"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_killed_by_chunk_budget_resumes_to_the_full_merge() {
+    let dir = std::env::temp_dir().join(format!("pobp-cli-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+    let base = &[
+        "sweep", "--n", "8,10", "--k", "0,1", "--seeds", "2", "--out", dir_s, "--chunk-cells", "1",
+    ];
+
+    let first = [&base[..], &["--max-chunks", "1"]].concat();
+    let (_, err, ok) = run(&first);
+    assert!(ok, "{err}");
+    assert!(err.contains("incomplete — rerun with --resume"), "{err}");
+    assert!(!dir.join("merged.jsonl").exists());
+
+    let resumed = [&base[..], &["--resume", "--threads", "4"]].concat();
+    let (_, err, ok) = run(&resumed);
+    assert!(ok, "{err}");
+    assert!(err.contains("merged output at"), "{err}");
+    assert!(err.contains("1 skipped"), "the finished chunk is not recomputed: {err}");
+
+    // The interrupted-then-resumed merge equals an uninterrupted run's.
+    let clean_dir = std::env::temp_dir().join(format!("pobp-cli-resume-c-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let clean = [
+        "sweep", "--n", "8,10", "--k", "0,1", "--seeds", "2",
+        "--out", clean_dir.to_str().unwrap(), "--chunk-cells", "1",
+    ];
+    let (_, err, ok) = run(&clean);
+    assert!(ok, "{err}");
+    assert_eq!(
+        std::fs::read(dir.join("merged.jsonl")).unwrap(),
+        std::fs::read(clean_dir.join("merged.jsonl")).unwrap(),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&clean_dir).ok();
+}
