@@ -20,13 +20,18 @@
 //! ([`obs`], with the [`obs_count!`], [`obs_time!`], and [`obs_event!`]
 //! macros, and [`trace`], with [`obs_span!`] and [`trace_event!`]), both
 //! compiled to no-ops unless the matching cargo feature (`obs` / `trace`)
-//! is enabled — see `docs/observability.md`.
+//! is enabled, plus the live-telemetry layer (`metrics` and `flight`,
+//! gated on the `telemetry` feature) — see `docs/observability.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+#[cfg(feature = "telemetry")]
+pub mod flight;
 pub mod json;
+#[cfg(feature = "telemetry")]
+pub mod metrics;
 pub mod obs;
 pub mod trace;
 

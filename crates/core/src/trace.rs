@@ -179,6 +179,10 @@ mod imp {
                 value,
                 text: text.map(Box::from),
             };
+            // The flight recorder mirrors the full stream, keeping only the
+            // newest events (same seq/worker/task attribution as the trace).
+            #[cfg(feature = "telemetry")]
+            crate::flight::push(ev.clone());
             l.buf.push(ev);
             if l.buf.len() >= FLUSH_AT {
                 flush(&mut l.buf);
@@ -316,7 +320,7 @@ pub use imp::{task_context, task_scope, TaskScope};
 // ---------------------------------------------------------------------------
 
 /// Minimal JSON string escaping for text payloads and labels.
-#[cfg(feature = "trace")]
+#[cfg(any(feature = "trace", feature = "telemetry"))]
 fn escape(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
@@ -338,7 +342,10 @@ fn escape(s: &str, out: &mut String) {
 /// `ph: "B"`/`"E"` pairs, instants `ph: "i"` with thread scope. Timestamps
 /// are microseconds (fractional) from the process trace epoch. The task
 /// key, numeric value, and text payload are carried in `args`.
-#[cfg(feature = "trace")]
+///
+/// Available under either the `trace` feature (full-run exports) or the
+/// `telemetry` feature (flight-recorder dumps).
+#[cfg(any(feature = "trace", feature = "telemetry"))]
 pub fn chrome_json(events: &[TraceEvent]) -> String {
     let mut sorted: Vec<&TraceEvent> = events.iter().collect();
     sorted.sort_by_key(|e| (e.worker, e.seq));
@@ -482,9 +489,36 @@ macro_rules! trace_event {
 /// `trace_event!("phase", value)`, or `trace_event!("phase", text: expr)`
 /// record a [`TraceClass::Logical`] instant; prefix the phase with `timing`
 /// (e.g. `trace_event!(timing "cache.ref_hit")`) for a
+/// [`TraceClass::Timing`] one. With `trace` off but `telemetry` on, the
+/// event goes only to the bounded flight-recorder ring
+/// ([`flight`](crate::flight)).
+#[cfg(all(not(feature = "trace"), feature = "telemetry"))]
+#[macro_export]
+macro_rules! trace_event {
+    (timing $phase:literal) => {
+        $crate::flight::instant($phase, $crate::trace::TraceClass::Timing, 0u64, ::core::option::Option::None)
+    };
+    (timing $phase:literal, $value:expr) => {
+        $crate::flight::instant($phase, $crate::trace::TraceClass::Timing, ($value) as u64, ::core::option::Option::None)
+    };
+    ($phase:literal) => {
+        $crate::flight::instant($phase, $crate::trace::TraceClass::Logical, 0u64, ::core::option::Option::None)
+    };
+    ($phase:literal, text: $text:expr) => {
+        $crate::flight::instant($phase, $crate::trace::TraceClass::Logical, 0u64, ::core::option::Option::Some(&$text))
+    };
+    ($phase:literal, $value:expr) => {
+        $crate::flight::instant($phase, $crate::trace::TraceClass::Logical, ($value) as u64, ::core::option::Option::None)
+    };
+}
+
+/// Records a point trace event: `trace_event!("phase")`,
+/// `trace_event!("phase", value)`, or `trace_event!("phase", text: expr)`
+/// record a [`TraceClass::Logical`] instant; prefix the phase with `timing`
+/// (e.g. `trace_event!(timing "cache.ref_hit")`) for a
 /// [`TraceClass::Timing`] one. With the `trace` feature off this expands to
 /// `()` and the payload expressions are **not evaluated**.
-#[cfg(not(feature = "trace"))]
+#[cfg(all(not(feature = "trace"), not(feature = "telemetry")))]
 #[macro_export]
 macro_rules! trace_event {
     ($($args:tt)*) => {
@@ -513,11 +547,29 @@ macro_rules! obs_span {
 
 /// Wraps an expression in a trace span: `obs_span!("phase", { body })`
 /// evaluates to the body's value, emitting begin/end events around it (the
+/// end fires even on early return or panic, via a drop guard). With `trace`
+/// off but `telemetry` on, the span's begin/end events go only to the
+/// bounded flight-recorder ring ([`flight`](crate::flight)).
+#[cfg(all(not(feature = "trace"), feature = "telemetry"))]
+#[macro_export]
+macro_rules! obs_span {
+    (timing $phase:literal, $body:expr) => {{
+        let __flight_guard = $crate::flight::span($phase, $crate::trace::TraceClass::Timing);
+        $body
+    }};
+    ($phase:literal, $body:expr) => {{
+        let __flight_guard = $crate::flight::span($phase, $crate::trace::TraceClass::Logical);
+        $body
+    }};
+}
+
+/// Wraps an expression in a trace span: `obs_span!("phase", { body })`
+/// evaluates to the body's value, emitting begin/end events around it (the
 /// end fires even on early return or panic, via a drop guard). The span is
 /// [`TraceClass::Logical`]; use `obs_span!(timing "phase", { body })` for a
 /// [`TraceClass::Timing`] span. With the `trace` feature off this expands
 /// to the body expression unchanged — the body always runs.
-#[cfg(not(feature = "trace"))]
+#[cfg(all(not(feature = "trace"), not(feature = "telemetry")))]
 #[macro_export]
 macro_rules! obs_span {
     (timing $phase:literal, $body:expr) => {
@@ -650,7 +702,7 @@ mod tests {
         );
     }
 
-    #[cfg(not(feature = "trace"))]
+    #[cfg(all(not(feature = "trace"), not(feature = "telemetry")))]
     #[test]
     fn macros_are_inert_when_disabled() {
         // trace_event! must not evaluate its arguments...

@@ -215,10 +215,17 @@ impl Engine {
     #[cfg(feature = "chaos")]
     pub fn with_chaos(cfg: EngineConfig, plan: crate::chaos::FaultPlan) -> Self {
         let mut e = Engine::new(cfg);
-        let plan = Arc::new(plan);
-        e.cache.set_chaos(Some(plan.clone()));
-        e.chaos = Some(plan);
+        e.set_chaos(Arc::new(plan));
         e
+    }
+
+    /// Arms a fault plan on an already-built engine. A service building
+    /// per-job engines over a shared cache uses this to make every engine —
+    /// and the shared cache — fire the same deterministic plan.
+    #[cfg(feature = "chaos")]
+    pub fn set_chaos(&mut self, plan: Arc<crate::chaos::FaultPlan>) {
+        self.cache.set_chaos(Some(plan.clone()));
+        self.chaos = Some(plan);
     }
 
     /// The engine's configuration.

@@ -43,6 +43,10 @@ COMMANDS:
     list [--status S] [--limit N]
     cancel --id N
     stats                        daemon counters and queue depths
+    top [--interval-ms MS] [--count N]
+                                 live telemetry view (needs a daemon
+                                 built with --features telemetry)
+    dump-flight                  ask the daemon to write a flight dump
     shutdown [--cancel]          stop the daemon (drains by default)
     soak --seconds N --seed S [--journal DIR] [--expect-restart]
 
@@ -86,6 +90,8 @@ fn run() -> i32 {
         "list" => cmd_list(&client, &args),
         "cancel" => cmd_simple_id(&client, &args, |c, id| c.cancel(id)),
         "stats" => print_response(client.stats()),
+        "top" => cmd_top(&client, &args),
+        "dump-flight" => cmd_dump_flight(&client),
         "shutdown" => print_response(client.shutdown(!has_flag(&args, "--cancel"))),
         "soak" => cmd_soak(&addr, &args),
         other => {
@@ -275,6 +281,133 @@ fn cmd_list(client: &Client, args: &[String]) -> i32 {
         Err(e) => return usage_err(&e),
     }
     print_response(client.request(&Json::Obj(pairs)))
+}
+
+/// `top`: poll the daemon's `metrics` op and render a live dashboard.
+///
+/// On a TTY the view repaints in place (ANSI clear); piped output gets one
+/// plain block per tick so CI can run `top --count 1` and grep the text.
+/// `--count 0` (the default) polls until interrupted.
+#[cfg(feature = "telemetry")]
+fn cmd_top(client: &Client, args: &[String]) -> i32 {
+    use std::io::{IsTerminal, Write as _};
+    let interval = match parse_num_strict(args, "--interval-ms", 1000u64) {
+        Ok(ms) => Duration::from_millis(ms.max(50)),
+        Err(e) => return usage_err(&e),
+    };
+    let count: u64 = match parse_num_strict(args, "--count", 0u64) {
+        Ok(c) => c,
+        Err(e) => return usage_err(&e),
+    };
+    let live = std::io::stdout().is_terminal();
+    let mut ticks = 0u64;
+    loop {
+        let resp = match client.metrics() {
+            Ok(v) => v,
+            Err(e) => return usage_err(&format!("transport error: {e}")),
+        };
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("pobp-client top: daemon refused the metrics op: {resp}");
+            return EXIT_USAGE;
+        }
+        let Some(m) = resp.get("metrics") else {
+            eprintln!("pobp-client top: malformed metrics response: {resp}");
+            return EXIT_USAGE;
+        };
+        if live {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(m));
+        let _ = std::io::stdout().flush();
+        ticks += 1;
+        if count != 0 && ticks >= count {
+            return EXIT_OK;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn cmd_top(_client: &Client, _args: &[String]) -> i32 {
+    usage_err("top requires a pobp-client built with --features telemetry")
+}
+
+#[cfg(feature = "telemetry")]
+fn cmd_dump_flight(client: &Client) -> i32 {
+    print_response(client.dump_flight())
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn cmd_dump_flight(_client: &Client) -> i32 {
+    usage_err("dump-flight requires a pobp-client built with --features telemetry")
+}
+
+/// Formats one `metrics` payload as the `top` text block.
+#[cfg(feature = "telemetry")]
+fn render_top(m: &Json) -> String {
+    let num = |key: &str| m.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let rate = |key: &str| {
+        m.get("rates")
+            .and_then(|r| r.get(key))
+            .and_then(Json::as_f64)
+            .map_or_else(|| "   -".into(), |v| format!("{v:.1}/s"))
+    };
+    let ratio = |key: &str| {
+        m.get(key)
+            .and_then(Json::as_f64)
+            .map_or_else(|| "   -".into(), |v| format!("{:.1}%", v * 100.0))
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pobp serve - up {:.1}s   window {:.1}s over {} samples @ {}ms\n",
+        num("uptime_ms") / 1000.0,
+        num("window_secs"),
+        num("samples"),
+        num("sample_ms"),
+    ));
+    out.push_str(&format!(
+        "queue    {:>4} / {} queued   {:>3} running   {:>5} jobs   journal {:.1} KiB\n",
+        num("queued"),
+        num("queue_cap"),
+        num("running"),
+        num("jobs"),
+        num("journal_bytes") / 1024.0,
+    ));
+    if m.get("journal_poisoned").and_then(Json::as_bool) == Some(true) {
+        out.push_str("!! journal poisoned: appends failing, daemon is read-only\n");
+    }
+    out.push_str(&format!(
+        "rates    accepted {}   finished {}   rejected {}   cache-hits {}\n",
+        rate("accepted_per_s"),
+        rate("finished_per_s"),
+        rate("rejected_per_s"),
+        rate("cache_hits_per_s"),
+    ));
+    out.push_str(&format!(
+        "ratios   cache-hit {}   degrade {}\n",
+        ratio("cache_hit_ratio"),
+        ratio("degrade_ratio"),
+    ));
+    let lat = |q: &str| {
+        m.get("latency_ms").and_then(|l| l.get(q)).and_then(Json::as_f64).unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "latency  p50 {:.0}ms   p90 {:.0}ms   p99 {:.0}ms   ({} jobs measured)\n",
+        lat("p50"),
+        lat("p90"),
+        lat("p99"),
+        lat("count"),
+    ));
+    if let Some(Json::Obj(algs)) = m.get("per_alg") {
+        if !algs.is_empty() {
+            out.push_str("per-alg\n");
+            for (alg, v) in algs {
+                let done = v.get("done").and_then(Json::as_f64).unwrap_or(0.0);
+                out.push_str(&format!("  {alg:<14} {done:>6} done\n"));
+            }
+        }
+    }
+    out
 }
 
 fn cmd_soak(addr: &str, args: &[String]) -> i32 {

@@ -73,6 +73,19 @@ impl Client {
         self.request(&obj([("op", Json::Str("stats".into()))]))
     }
 
+    /// `metrics` — the live windowed-telemetry payload (rates, gauges,
+    /// latency quantiles, per-alg breakdown).
+    #[cfg(feature = "telemetry")]
+    pub fn metrics(&self) -> io::Result<Json> {
+        self.request(&obj([("op", Json::Str("metrics".into()))]))
+    }
+
+    /// `dump-flight` — ask the daemon to write a flight-recorder dump now.
+    #[cfg(feature = "telemetry")]
+    pub fn dump_flight(&self) -> io::Result<Json> {
+        self.request(&obj([("op", Json::Str("dump-flight".into()))]))
+    }
+
     /// `submit` with an already-built spec object.
     pub fn submit(&self, spec: Json) -> io::Result<Json> {
         self.request(&obj([("op", Json::Str("submit".into())), ("spec", spec)]))

@@ -190,6 +190,17 @@ impl Journal {
     pub fn compactions(&self) -> u64 {
         self.compactions
     }
+
+    /// Current size of the journal file in bytes (0 if unreadable).
+    pub fn bytes(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Whether an append failure has poisoned the journal (appends are
+    /// refused until a compaction truncates it clean).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
 }
 
 /// Whether the (append-mode) journal file is empty or ends with `\n` —

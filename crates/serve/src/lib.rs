@@ -22,6 +22,9 @@
 //! * [`server`] / [`client`] — the TCP front end and its client.
 //! * [`soak`] — the randomized invariant-checking harness
 //!   (`pobp-client soak`).
+//! * `telemetry` (feature-gated) — the live-telemetry glue: sampler
+//!   options, the Prometheus scrape listener, flight dumps
+//!   (docs/observability.md).
 
 pub mod client;
 pub mod job;
@@ -32,6 +35,8 @@ pub mod registry;
 pub mod server;
 pub mod service;
 pub mod soak;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 
 pub use client::Client;
 pub use job::{JobSpec, JobStatus};
@@ -40,3 +45,5 @@ pub use registry::{Event, JobRecord, Registry};
 pub use server::run_server;
 pub use service::{CancelOutcome, Service, ServiceConfig, SubmitOutcome};
 pub use soak::{run_soak, SoakConfig, SoakReport};
+#[cfg(feature = "telemetry")]
+pub use telemetry::{spawn_metrics_listener, TelemetryOptions};

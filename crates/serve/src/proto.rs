@@ -48,6 +48,13 @@ pub fn handle_line(service: &Service, line: &str) -> (Json, Control) {
         "stats" => {
             (obj([("ok", Json::Bool(true)), ("stats", service.stats_json())]), Control::Continue)
         }
+        #[cfg(feature = "telemetry")]
+        "metrics" => (
+            obj([("ok", Json::Bool(true)), ("metrics", service.metrics_json())]),
+            Control::Continue,
+        ),
+        #[cfg(feature = "telemetry")]
+        "dump-flight" => (handle_dump_flight(service), Control::Continue),
         "shutdown" => {
             let drain = parsed.get("drain").and_then(Json::as_bool).unwrap_or(true);
             (
@@ -56,6 +63,18 @@ pub fn handle_line(service: &Service, line: &str) -> (Json, Control) {
             )
         }
         other => (err(&format!("unknown op {other:?}")), Control::Continue),
+    }
+}
+
+#[cfg(feature = "telemetry")]
+fn handle_dump_flight(service: &Service) -> Json {
+    match service.dump_flight("manual") {
+        Ok(Some(path)) => obj([
+            ("ok", Json::Bool(true)),
+            ("path", Json::Str(path.display().to_string())),
+        ]),
+        Ok(None) => err("no --flight-dir configured"),
+        Err(e) => err(&format!("flight dump failed: {e}")),
     }
 }
 

@@ -32,6 +32,8 @@ struct StopFlag {
 pub fn run_server(addr: &str, cfg: ServiceConfig) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    #[cfg(feature = "telemetry")]
+    let metrics_addr = cfg.telemetry.metrics_addr.clone();
     let service = Arc::new(Service::start(cfg)?);
     let recovery = service.recovery();
     let counters = service.counters();
@@ -40,6 +42,13 @@ pub fn run_server(addr: &str, cfg: ServiceConfig) -> io::Result<()> {
         "serve: recovered snapshot_seq={} replayed={} requeued={} dropped_tail={}",
         recovery.snapshot_seq, recovery.replayed, counters.requeued, recovery.dropped_tail
     );
+    // A third startup line appears only when a scrape listener was asked
+    // for, so address-scraping scripts keyed on the first two lines hold.
+    #[cfg(feature = "telemetry")]
+    if let Some(addr) = metrics_addr {
+        let bound = crate::telemetry::spawn_metrics_listener(&addr, Arc::clone(&service))?;
+        println!("serve: metrics on {bound}");
+    }
     io::stdout().flush()?;
     serve_loop(listener, local, service)
 }

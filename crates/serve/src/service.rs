@@ -37,6 +37,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+#[cfg(feature = "telemetry")]
+use std::collections::BTreeMap;
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::AtomicU64;
+
+#[cfg(feature = "telemetry")]
+use pobp_core::metrics::{MetricsWindow, Prom, Sample};
+#[cfg(feature = "telemetry")]
+use pobp_core::obs::LogHistogram;
 use pobp_core::{obs_count, obs_event, obs_span, trace_event};
 use pobp_engine::{Algo, Engine, EngineConfig, ResultCache, TaskReport, TaskResult};
 
@@ -44,6 +53,8 @@ use crate::job::{JobSpec, JobStatus};
 use crate::journal::{recovery_json, Journal, RecoveryReport, DEFAULT_COMPACT_EVERY};
 use crate::json::{obj, Json};
 use crate::registry::{Event, JobRecord, Registry};
+#[cfg(feature = "telemetry")]
+use crate::telemetry::TelemetryOptions;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -69,6 +80,10 @@ pub struct ServiceConfig {
     /// docs/sweeps.md) under the journal's appends and compactions.
     #[cfg(feature = "chaos")]
     pub chaos: Option<Arc<pobp_engine::FaultPlan>>,
+    /// Live-telemetry knobs: sampler period, window size, flight-dump
+    /// directory (docs/observability.md).
+    #[cfg(feature = "telemetry")]
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +97,8 @@ impl Default for ServiceConfig {
             compact_every: DEFAULT_COMPACT_EVERY,
             #[cfg(feature = "chaos")]
             chaos: None,
+            #[cfg(feature = "telemetry")]
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
@@ -185,6 +202,22 @@ struct State {
     recovery: RecoveryReport,
 }
 
+/// Live-telemetry state (outside the state lock: the sampler and scrape
+/// paths take the state lock briefly per tick, never the other way round).
+#[cfg(feature = "telemetry")]
+struct Telemetry {
+    /// Monotone epoch for sample timestamps and uptime.
+    started: Instant,
+    /// The windowed sample ring the `metrics` op and scrapes read.
+    window: Mutex<MetricsWindow>,
+    /// Job wall-clock latency in milliseconds (engine run only).
+    latency_ms: LogHistogram,
+    /// Jobs finished `Done`/`Degraded` per algorithm name.
+    per_alg_done: Mutex<BTreeMap<&'static str, u64>>,
+    /// Flight-dump file counter.
+    flight_seq: AtomicU64,
+}
+
 struct Inner {
     cfg: ServiceConfig,
     cache: Arc<ResultCache>,
@@ -192,6 +225,8 @@ struct Inner {
     work_ready: Condvar,
     stopping: AtomicBool,
     drain: AtomicBool,
+    #[cfg(feature = "telemetry")]
+    telemetry: Telemetry,
 }
 
 /// The running daemon core. Construct with [`Service::start`]; all methods
@@ -205,6 +240,10 @@ pub struct Service {
 impl Service {
     /// Recovers the registry from `cfg.dir` and starts the worker pool.
     pub fn start(cfg: ServiceConfig) -> io::Result<Service> {
+        #[cfg(feature = "telemetry")]
+        if let Some(dir) = &cfg.telemetry.flight_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let (journal, mut registry, recovery) = Journal::open(&cfg.dir, cfg.compact_every)?;
         // Arm IO fault injection after recovery: recovery itself is
         // read-only, and the startup compaction must succeed so the
@@ -258,8 +297,17 @@ impl Service {
             work_ready: Condvar::new(),
             stopping: AtomicBool::new(false),
             drain: AtomicBool::new(true),
+            #[cfg(feature = "telemetry")]
+            telemetry: Telemetry {
+                started: Instant::now(),
+                window: Mutex::new(MetricsWindow::new(cfg.telemetry.window.max(2))),
+                latency_ms: LogHistogram::new(),
+                per_alg_done: Mutex::new(BTreeMap::new()),
+                flight_seq: AtomicU64::new(0),
+            },
         });
-        let workers = (0..cfg.workers)
+        #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+        let mut workers: Vec<JoinHandle<()>> = (0..cfg.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -268,6 +316,16 @@ impl Service {
                     .expect("spawn worker")
             })
             .collect();
+        #[cfg(feature = "telemetry")]
+        if cfg.telemetry.sample_ms > 0 {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("pobp-serve-sampler".into())
+                    .spawn(move || sampler_loop(&inner))
+                    .expect("spawn sampler"),
+            );
+        }
         Ok(Service { inner, workers: Mutex::new(workers) })
     }
 
@@ -307,10 +365,16 @@ impl Service {
         {
             let id = state.registry.allocate_id();
             let submit = Event::Submit { id, spec };
-            state.journal.append(&submit)?;
+            state.journal.append(&submit).inspect_err(|_e| {
+                #[cfg(feature = "telemetry")]
+                flight_on_failure(&self.inner, "journal-poisoned");
+            })?;
             state.registry.apply(&submit);
             let finish = Event::Finish { id, result };
-            state.journal.append(&finish)?;
+            state.journal.append(&finish).inspect_err(|_e| {
+                #[cfg(feature = "telemetry")]
+                flight_on_failure(&self.inner, "journal-poisoned");
+            })?;
             state.registry.apply(&finish);
             let status = state.registry.get(id).expect("just finished").status;
             state.counters.accepted += 1;
@@ -329,7 +393,10 @@ impl Service {
         let id = state.registry.allocate_id();
         let priority = spec.priority;
         let submit = Event::Submit { id, spec };
-        state.journal.append(&submit)?;
+        state.journal.append(&submit).inspect_err(|_e| {
+            #[cfg(feature = "telemetry")]
+            flight_on_failure(&self.inner, "journal-poisoned");
+        })?;
         state.registry.apply(&submit);
         state.queue.push(QueueEntry { priority, id });
         state.queued += 1;
@@ -360,6 +427,8 @@ impl Service {
                 let cancel = Event::Cancel { id };
                 if let Err(e) = state.journal.append(&cancel) {
                     eprintln!("serve: journal append failed on cancel({id}): {e}");
+                    #[cfg(feature = "telemetry")]
+                    flight_on_failure(&self.inner, "journal-poisoned");
                 }
                 state.registry.apply(&cancel);
                 state.queued = state.queued.saturating_sub(1);
@@ -416,6 +485,201 @@ impl Service {
         ])
     }
 
+    /// The `metrics` op payload: takes one on-demand sample (so the view is
+    /// current even between sampler ticks, and works with `sample_ms: 0`),
+    /// then derives windowed rates, ratios, latency quantiles, and the
+    /// per-algorithm breakdown. All values are wall-clock telemetry — see
+    /// the determinism contract in `docs/observability.md`.
+    #[cfg(feature = "telemetry")]
+    pub fn metrics_json(&self) -> Json {
+        let sample = capture_sample(&self.inner);
+        let mut window = self.inner.telemetry.window.lock().unwrap();
+        window.push(sample);
+        let latest = window.latest().cloned().unwrap_or_default();
+        let rate = |name: &str| match window.rate(name) {
+            Some(r) => Json::Num(r),
+            None => Json::Null,
+        };
+        let gauge = |name: &str| Json::Num(window.gauge(name).unwrap_or(0.0));
+        let ratio = |num: &str, den: &str| match window.ratio(num, den) {
+            Some(r) => Json::Num(r),
+            None => Json::Null,
+        };
+        let h = &self.inner.telemetry.latency_ms;
+        let latency_count: u64 = h.counts().iter().sum();
+        let per_alg: Vec<(String, Json)> = self
+            .inner
+            .telemetry
+            .per_alg_done
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(alg, n)| ((*alg).to_string(), obj([("done", Json::Num(*n as f64))])))
+            .collect();
+        obj([
+            ("window_secs", Json::Num(window.window_secs())),
+            ("samples", Json::Num(window.len() as f64)),
+            ("sample_ms", Json::Num(self.inner.cfg.telemetry.sample_ms as f64)),
+            ("uptime_ms", Json::Num(self.inner.telemetry.started.elapsed().as_millis() as f64)),
+            ("queued", gauge("queued")),
+            ("running", gauge("running")),
+            ("jobs", gauge("jobs")),
+            ("queue_cap", Json::Num(self.inner.cfg.queue_cap as f64)),
+            ("journal_bytes", gauge("journal_bytes")),
+            ("journal_poisoned", Json::Bool(window.gauge("journal_poisoned").unwrap_or(0.0) > 0.0)),
+            (
+                "counters",
+                Json::Obj(
+                    latest
+                        .counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "rates",
+                obj([
+                    ("accepted_per_s", rate("accepted")),
+                    ("rejected_per_s", rate("rejected")),
+                    ("finished_per_s", rate("finished")),
+                    ("done_per_s", rate("done")),
+                    ("failed_per_s", rate("failed")),
+                    ("cache_hits_per_s", rate("cache_hits")),
+                ]),
+            ),
+            ("cache_hit_ratio", ratio("cache_hits", "accepted")),
+            ("degrade_ratio", ratio("degraded", "finished")),
+            (
+                "latency_ms",
+                obj([
+                    ("count", Json::Num(latency_count as f64)),
+                    ("p50", Json::Num(h.quantile(0.50))),
+                    ("p90", Json::Num(h.quantile(0.90))),
+                    ("p99", Json::Num(h.quantile(0.99))),
+                ]),
+            ),
+            ("per_alg", Json::Obj(per_alg)),
+        ])
+    }
+
+    /// The Prometheus text exposition body (`--metrics-addr` scrapes):
+    /// cumulative counters straight from the always-on [`ServeCounters`],
+    /// instantaneous gauges, windowed rates/ratios, and latency quantiles.
+    #[cfg(feature = "telemetry")]
+    pub fn prometheus_text(&self) -> String {
+        let sample = capture_sample(&self.inner);
+        let mut window = self.inner.telemetry.window.lock().unwrap();
+        window.push(sample);
+        let latest = window.latest().cloned().unwrap_or_default();
+        let counter = |name: &str| latest.counters.get(name).copied().unwrap_or(0) as f64;
+        let gauge = |name: &str| window.gauge(name).unwrap_or(0.0);
+        let h = &self.inner.telemetry.latency_ms;
+        let latency_count: u64 = h.counts().iter().sum();
+        let mut p = Prom::new();
+        p.header("pobp_serve_up", "gauge", "1 while the daemon answers scrapes.")
+            .sample("pobp_serve_up", &[], 1.0);
+        p.header("pobp_serve_uptime_seconds", "gauge", "Seconds since the daemon started.")
+            .sample(
+                "pobp_serve_uptime_seconds",
+                &[],
+                self.inner.telemetry.started.elapsed().as_secs_f64(),
+            );
+        p.header("pobp_serve_jobs_accepted_total", "counter", "Admitted submissions.")
+            .sample("pobp_serve_jobs_accepted_total", &[], counter("accepted"));
+        p.header("pobp_serve_jobs_rejected_total", "counter", "Rejected submissions.")
+            .sample("pobp_serve_jobs_rejected_total", &[], counter("rejected"));
+        p.header(
+            "pobp_serve_cache_hits_total",
+            "counter",
+            "Submissions answered from an equal-keyed finished job.",
+        )
+        .sample("pobp_serve_cache_hits_total", &[], counter("cache_hits"));
+        p.header(
+            "pobp_serve_jobs_finished_total",
+            "counter",
+            "Jobs reaching a terminal status, by status.",
+        );
+        for status in ["done", "degraded", "failed", "cancelled"] {
+            p.sample("pobp_serve_jobs_finished_total", &[("status", status)], counter(status));
+        }
+        p.header(
+            "pobp_serve_jobs_done_by_alg_total",
+            "counter",
+            "Jobs finished done or degraded, by algorithm.",
+        );
+        for (alg, n) in self.inner.telemetry.per_alg_done.lock().unwrap().iter() {
+            p.sample("pobp_serve_jobs_done_by_alg_total", &[("alg", alg)], *n as f64);
+        }
+        p.header("pobp_serve_queue_depth", "gauge", "Jobs currently queued.")
+            .sample("pobp_serve_queue_depth", &[], gauge("queued"));
+        p.header("pobp_serve_queue_cap", "gauge", "Admission bound on queued jobs.")
+            .sample("pobp_serve_queue_cap", &[], self.inner.cfg.queue_cap as f64);
+        p.header("pobp_serve_running", "gauge", "Jobs currently running.")
+            .sample("pobp_serve_running", &[], gauge("running"));
+        p.header("pobp_serve_jobs", "gauge", "Jobs in the registry.")
+            .sample("pobp_serve_jobs", &[], gauge("jobs"));
+        p.header("pobp_serve_journal_bytes", "gauge", "Size of the journal file.")
+            .sample("pobp_serve_journal_bytes", &[], gauge("journal_bytes"));
+        p.header(
+            "pobp_serve_journal_poisoned",
+            "gauge",
+            "1 while the journal refuses appends after an IO failure.",
+        )
+        .sample("pobp_serve_journal_poisoned", &[], gauge("journal_poisoned"));
+        p.header(
+            "pobp_serve_accepted_per_second",
+            "gauge",
+            "Admissions per second over the sample window.",
+        )
+        .sample("pobp_serve_accepted_per_second", &[], window.rate("accepted").unwrap_or(0.0));
+        p.header(
+            "pobp_serve_finished_per_second",
+            "gauge",
+            "Terminal jobs per second over the sample window.",
+        )
+        .sample("pobp_serve_finished_per_second", &[], window.rate("finished").unwrap_or(0.0));
+        p.header(
+            "pobp_serve_cache_hit_ratio",
+            "gauge",
+            "Cache hits per admission over the sample window (NaN when idle).",
+        )
+        .sample(
+            "pobp_serve_cache_hit_ratio",
+            &[],
+            window.ratio("cache_hits", "accepted").unwrap_or(f64::NAN),
+        );
+        p.header(
+            "pobp_serve_degrade_ratio",
+            "gauge",
+            "Degraded finishes per terminal job over the sample window (NaN when idle).",
+        )
+        .sample(
+            "pobp_serve_degrade_ratio",
+            &[],
+            window.ratio("degraded", "finished").unwrap_or(f64::NAN),
+        );
+        p.header(
+            "pobp_serve_job_latency_ms",
+            "gauge",
+            "Job wall-clock latency quantiles in milliseconds.",
+        );
+        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+            p.sample("pobp_serve_job_latency_ms", &[("quantile", label)], h.quantile(q));
+        }
+        p.header("pobp_serve_job_latency_count", "counter", "Jobs measured for latency.")
+            .sample("pobp_serve_job_latency_count", &[], latency_count as f64);
+        p.finish()
+    }
+
+    /// Writes the flight-recorder ring as Chrome-trace JSON into the
+    /// configured `--flight-dir` and returns the path, or `Ok(None)` when
+    /// no flight directory is configured.
+    #[cfg(feature = "telemetry")]
+    pub fn dump_flight(&self, reason: &str) -> io::Result<Option<PathBuf>> {
+        dump_flight_to_dir(&self.inner, reason)
+    }
+
     /// Blocks until no job is queued or running, or `timeout` elapses.
     /// Returns whether the daemon quiesced.
     pub fn quiesce(&self, timeout: Duration) -> bool {
@@ -470,6 +734,80 @@ impl Drop for Service {
     }
 }
 
+/// One timestamped capture of the always-on counters and gauges, for the
+/// sampler thread and on-demand `metrics`/scrape reads.
+#[cfg(feature = "telemetry")]
+fn capture_sample(inner: &Inner) -> Sample {
+    let state = inner.state.lock().unwrap();
+    let c = state.counters;
+    let finished = c.done + c.degraded + c.failed + c.cancelled;
+    Sample::at(inner.telemetry.started.elapsed().as_millis() as u64)
+        .counter("accepted", c.accepted)
+        .counter("rejected", c.rejected)
+        .counter("cache_hits", c.cache_hits)
+        .counter("done", c.done)
+        .counter("degraded", c.degraded)
+        .counter("failed", c.failed)
+        .counter("cancelled", c.cancelled)
+        .counter("requeued", c.requeued)
+        .counter("finished", finished)
+        .counter("journal_appends", state.journal.seq())
+        .gauge("queued", state.queued as f64)
+        .gauge("running", state.running.len() as f64)
+        .gauge("jobs", state.registry.len() as f64)
+        .gauge("journal_bytes", state.journal.bytes() as f64)
+        .gauge("journal_poisoned", u8::from(state.journal.is_poisoned()) as f64)
+}
+
+/// The background sampler: one [`capture_sample`] per `--sample-ms` tick
+/// into the window ring, until the daemon stops. Sleeps in short steps so
+/// `stop` never waits a full period.
+#[cfg(feature = "telemetry")]
+fn sampler_loop(inner: &Inner) {
+    let period = Duration::from_millis(inner.cfg.telemetry.sample_ms.max(10));
+    loop {
+        if inner.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let sample = capture_sample(inner);
+        inner.telemetry.window.lock().unwrap().push(sample);
+        let mut slept = Duration::ZERO;
+        while slept < period {
+            if inner.stopping.load(Ordering::Acquire) {
+                return;
+            }
+            let step = Duration::from_millis(20).min(period - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+/// Writes the flight ring to `--flight-dir` as
+/// `flight-NNNNN-<reason>.json`; `Ok(None)` when no directory is
+/// configured.
+#[cfg(feature = "telemetry")]
+fn dump_flight_to_dir(inner: &Inner, reason: &str) -> io::Result<Option<PathBuf>> {
+    let Some(dir) = &inner.cfg.telemetry.flight_dir else { return Ok(None) };
+    std::fs::create_dir_all(dir)?;
+    let n = inner.telemetry.flight_seq.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("flight-{n:05}-{reason}.json"));
+    std::fs::write(&path, pobp_core::flight::dump_json())?;
+    Ok(Some(path))
+}
+
+/// Automatic flight dump on a failure trigger (panicked task, failed
+/// certificate, poisoned journal): best-effort, a note on stderr either
+/// way, never an error to the caller.
+#[cfg(feature = "telemetry")]
+fn flight_on_failure(inner: &Inner, reason: &str) {
+    match dump_flight_to_dir(inner, reason) {
+        Ok(Some(path)) => eprintln!("serve: flight dump ({reason}) written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("serve: flight dump ({reason}) failed: {e}"),
+    }
+}
+
 /// One worker: claim highest-priority queued job → journal `Start` → run it
 /// on a fresh engine sharing the daemon cache → journal `Finish`.
 fn worker_loop(inner: &Inner) {
@@ -505,30 +843,59 @@ fn worker_loop(inner: &Inner) {
         let start = Event::Start { id };
         if let Err(e) = state.journal.append(&start) {
             eprintln!("serve: journal append failed on start({id}): {e}");
+            #[cfg(feature = "telemetry")]
+            flight_on_failure(inner, "journal-poisoned");
         }
         state.registry.apply(&start);
         state.queued = state.queued.saturating_sub(1);
-        let engine = Arc::new(Engine::with_shared_cache(
-            EngineConfig {
-                threads: inner.cfg.engine_threads,
-                deadline: spec.deadline_ms.map(Duration::from_millis),
-                degrade: inner.cfg.degrade,
-                ..EngineConfig::default()
-            },
-            Arc::clone(&inner.cache),
-        ));
+        let engine = Arc::new({
+            #[cfg_attr(not(feature = "chaos"), allow(unused_mut))]
+            let mut engine = Engine::with_shared_cache(
+                EngineConfig {
+                    threads: inner.cfg.engine_threads,
+                    deadline: spec.deadline_ms.map(Duration::from_millis),
+                    degrade: inner.cfg.degrade,
+                    ..EngineConfig::default()
+                },
+                Arc::clone(&inner.cache),
+            );
+            // The daemon's fault plan covers the engines too, not just the
+            // journal: solver-side sites (panic, corrupt-ref, …) fire
+            // per task key inside jobs, which is how the CI flight-recorder
+            // drill forces a CertFailed through the daemon.
+            #[cfg(feature = "chaos")]
+            if let Some(plan) = &inner.cfg.chaos {
+                engine.set_chaos(Arc::clone(plan));
+            }
+            engine
+        });
         state.running.insert(id, Arc::clone(&engine));
         drop(state);
         trace_event!("serve.claim", id);
         let task = spec.task();
+        #[cfg(feature = "telemetry")]
+        let job_started = Instant::now();
         let report = obs_span!("serve.job", engine.run_batch(std::slice::from_ref(&task)));
         let task_report = report.reports.into_iter().next().expect("batch of one");
+        #[cfg(feature = "telemetry")]
+        {
+            inner.telemetry.latency_ms.record(job_started.elapsed().as_millis() as u64);
+            // Post-mortem triggers: bound the damage story to a file the
+            // moment an engine reports a panic or a failed certificate.
+            match &task_report.result {
+                TaskResult::CertFailed { .. } => flight_on_failure(inner, "cert-failed"),
+                TaskResult::Panicked { .. } => flight_on_failure(inner, "panic"),
+                _ => {}
+            }
+        }
         let result = task_result_json(&task_report);
         let mut state = inner.state.lock().unwrap();
         state.running.remove(&id);
         let finish = Event::Finish { id, result };
         if let Err(e) = state.journal.append(&finish) {
             eprintln!("serve: journal append failed on finish({id}): {e}");
+            #[cfg(feature = "telemetry")]
+            flight_on_failure(inner, "journal-poisoned");
         }
         state.registry.apply(&finish);
         let status = state.registry.get(id).expect("finished job exists").status;
@@ -549,6 +916,10 @@ fn worker_loop(inner: &Inner) {
                 state.counters.failed += 1;
                 obs_count!("serve.jobs.failed");
             }
+        }
+        #[cfg(feature = "telemetry")]
+        if matches!(status, JobStatus::Done | JobStatus::Degraded) {
+            *inner.telemetry.per_alg_done.lock().unwrap().entry(spec.alg.name()).or_insert(0) += 1;
         }
         if matches!(status, JobStatus::Done | JobStatus::Degraded)
             && spec.alg != Algo::PanicForTest

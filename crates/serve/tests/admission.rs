@@ -30,6 +30,11 @@ fn cfg(dir: &Path, workers: usize, queue_cap: usize) -> ServiceConfig {
         compact_every: 10_000,
         #[cfg(feature = "chaos")]
         chaos: None,
+        // `sample_ms: 0` disables the background sampler so telemetry
+        // builds of these tests stay exactly as deterministic as default
+        // builds — the `metrics` op still works via its on-demand sample.
+        #[cfg(feature = "telemetry")]
+        telemetry: pobp_serve::TelemetryOptions { sample_ms: 0, ..Default::default() },
     }
 }
 
@@ -155,6 +160,126 @@ fn equal_keyed_submissions_share_one_result() {
         other => panic!("expected cached acceptance, got {other:?}"),
     }
     assert_eq!(service.counters().cache_hits, 1);
+    service.stop(true);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Reads a numeric field, treating a missing field as a loud NaN mismatch.
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+/// Field-by-field contract for the `stats` payload after a scripted
+/// submit/reject/cancel sequence on a worker-less service: every depth and
+/// counter is exact because nothing ever runs.
+#[test]
+fn stats_json_fields_are_exact_after_scripted_traffic() {
+    let dir = tmpdir("statsjson");
+    let service = Service::start(cfg(&dir, 0, 2)).unwrap();
+    accepted_id(service.submit(spec(0, 0)).unwrap()); // id 1, stays queued
+    let second = accepted_id(service.submit(spec(1, 0)).unwrap()); // id 2
+    assert!(matches!(service.submit(spec(9, 0)).unwrap(), SubmitOutcome::Rejected { .. }));
+    assert_eq!(service.cancel(second), CancelOutcome::CancelledQueued);
+    let stats = service.stats_json();
+    for (key, want) in [
+        ("jobs", 2.0),
+        ("queued", 1.0),
+        ("running", 0.0),
+        ("queue_cap", 2.0),
+        ("accepted", 2.0),
+        ("rejected", 1.0),
+        ("cache_hits", 0.0),
+        ("done", 0.0),
+        ("degraded", 0.0),
+        ("failed", 0.0),
+        ("cancelled", 1.0),
+        // Two submit records plus one cancel record; the rejection is
+        // never journalled.
+        ("journal_seq", 3.0),
+        ("compactions", 0.0),
+    ] {
+        assert_eq!(num(&stats, key), want, "stats field {key:?}");
+    }
+    let recovery = stats.get("recovery").expect("stats must embed the recovery report");
+    assert_eq!(num(recovery, "replayed"), 0.0, "fresh directory replays nothing");
+    assert_eq!(recovery.get("dropped_tail").and_then(Json::as_bool), Some(false));
+    service.stop(false);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The `metrics` payload over the same scripted worker-less traffic: the
+/// on-demand sample makes gauges and counters exact with `sample_ms: 0`,
+/// and windowed rates/ratios are `null` until a second sample exists.
+#[cfg(feature = "telemetry")]
+#[test]
+fn metrics_json_fields_are_exact_after_scripted_traffic() {
+    let dir = tmpdir("metricsjson");
+    let service = Service::start(cfg(&dir, 0, 2)).unwrap();
+    accepted_id(service.submit(spec(0, 0)).unwrap());
+    let second = accepted_id(service.submit(spec(1, 0)).unwrap());
+    assert!(matches!(service.submit(spec(9, 0)).unwrap(), SubmitOutcome::Rejected { .. }));
+    assert_eq!(service.cancel(second), CancelOutcome::CancelledQueued);
+    let m = service.metrics_json();
+    for (key, want) in
+        [("queued", 1.0), ("running", 0.0), ("jobs", 2.0), ("queue_cap", 2.0), ("samples", 1.0)]
+    {
+        assert_eq!(num(&m, key), want, "metrics field {key:?}");
+    }
+    assert_eq!(m.get("journal_poisoned").and_then(Json::as_bool), Some(false));
+    assert!(num(&m, "journal_bytes") > 0.0, "two journalled records have bytes");
+    let counters = m.get("counters").expect("metrics must embed the counter sample");
+    for (key, want) in [
+        ("accepted", 2.0),
+        ("rejected", 1.0),
+        ("cancelled", 1.0),
+        ("cache_hits", 0.0),
+        ("finished", 1.0), // cancelled counts as finished in the rollup
+        ("journal_appends", 3.0),
+    ] {
+        assert_eq!(num(counters, key), want, "metrics counter {key:?}");
+    }
+    // One sample spans no time: every windowed rate and ratio is null,
+    // never a fabricated zero.
+    let rates = m.get("rates").expect("metrics must embed the rates object");
+    for key in ["accepted_per_s", "rejected_per_s", "finished_per_s"] {
+        assert!(matches!(rates.get(key), Some(Json::Null)), "rate {key:?} must be null");
+    }
+    assert!(matches!(m.get("cache_hit_ratio"), Some(Json::Null)));
+    assert!(matches!(m.get("degrade_ratio"), Some(Json::Null)));
+    // Nothing ran: no latency observations, no per-alg rows.
+    assert_eq!(num(m.get("latency_ms").unwrap(), "count"), 0.0);
+    assert!(matches!(m.get("per_alg"), Some(Json::Obj(algs)) if algs.is_empty()));
+    service.stop(false);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// After a worker actually finishes jobs, the `metrics` payload carries
+/// the latency histogram, the per-algorithm breakdown, and a cache-hit
+/// counter consistent with `stats`.
+#[cfg(feature = "telemetry")]
+#[test]
+fn metrics_json_tracks_finished_jobs_and_cache_hits() {
+    let dir = tmpdir("metricsdone");
+    let service = Service::start(cfg(&dir, 1, 8)).unwrap();
+    accepted_id(service.submit(spec(5, 0)).unwrap());
+    assert!(service.quiesce(Duration::from_secs(60)));
+    let mut dup = spec(5, 0);
+    dup.name = "dup".into();
+    assert!(matches!(
+        service.submit(dup).unwrap(),
+        SubmitOutcome::Accepted { cached: true, .. }
+    ));
+    let m = service.metrics_json();
+    let counters = m.get("counters").unwrap();
+    // The cached acceptance reaches `Done` too, so the counter says 2 —
+    // but only the real engine run shows up in latency and per-alg below.
+    assert_eq!(num(counters, "done"), 2.0);
+    assert_eq!(num(counters, "cache_hits"), 1.0);
+    assert_eq!(num(m.get("latency_ms").unwrap(), "count"), 1.0, "one engine run was timed");
+    let Some(Json::Obj(algs)) = m.get("per_alg") else { panic!("per_alg must be an object") };
+    assert_eq!(algs.len(), 1, "exactly one algorithm finished jobs");
+    assert_eq!(algs[0].0, "reduction");
+    assert_eq!(num(&algs[0].1, "done"), 1.0, "the cache hit must not double-count");
     service.stop(true);
     fs::remove_dir_all(&dir).ok();
 }

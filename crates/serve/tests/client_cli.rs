@@ -41,6 +41,8 @@ impl TestDaemon {
             compact_every: 256,
             #[cfg(feature = "chaos")]
             chaos: None,
+            #[cfg(feature = "telemetry")]
+            telemetry: pobp_serve::TelemetryOptions { sample_ms: 0, ..Default::default() },
         };
         let service = Arc::new(Service::start(cfg).unwrap());
         let handle = std::thread::spawn(move || serve_listener(listener, service));

@@ -150,6 +150,8 @@ pub fn run_sweep(dir: &Path, cfg: &SweepConfig) -> Result<SweepOutcome, String> 
 
     let m_guard = manifest_guard(cfg, spec_digest);
     let mut out = SweepOutcome { chunks_total: chunks.len(), ..SweepOutcome::default() };
+    #[cfg(feature = "telemetry")]
+    let run_started = std::time::Instant::now();
 
     for chunk in &chunks {
         let tasks = chunk.tasks();
@@ -221,12 +223,48 @@ pub fn run_sweep(dir: &Path, cfg: &SweepConfig) -> Result<SweepOutcome, String> 
             .map_err(|e| format!("writing manifest: {e}"))?;
         out.chunks_completed += 1;
         pobp_core::obs_count!("sweep.chunks_completed");
+        #[cfg(feature = "telemetry")]
+        write_heartbeat(dir, run_started, manifest.done.len(), chunks.len(), &out);
     }
 
     if manifest.done.len() == chunks.len() {
         out.merged = Some(merge(dir, &manifest, &m_guard)?);
     }
     Ok(out)
+}
+
+/// Overwrites `heartbeat.json` in the sweep directory with one progress
+/// line: elapsed, chunks done/total, rows written this invocation, rows/s,
+/// and a chunk-based ETA. Pure telemetry: written outside the IoGuard, not
+/// digest-verified, ignored by resume/merge — crash-safety and the
+/// byte-identity of shards/manifest/`merged.jsonl` do not depend on it,
+/// and write failures are deliberately swallowed.
+#[cfg(feature = "telemetry")]
+fn write_heartbeat(
+    dir: &Path,
+    started: std::time::Instant,
+    chunks_done: usize,
+    chunks_total: usize,
+    out: &SweepOutcome,
+) {
+    use pobp_core::json::{obj, Json};
+    let elapsed = started.elapsed().as_secs_f64();
+    let rows_per_s = if elapsed > 0.0 { out.rows_written as f64 / elapsed } else { 0.0 };
+    let remaining = chunks_total.saturating_sub(chunks_done);
+    let eta_s = if out.chunks_completed > 0 {
+        Json::Num(elapsed / out.chunks_completed as f64 * remaining as f64)
+    } else {
+        Json::Null
+    };
+    let line = obj([
+        ("elapsed_ms", Json::Num((elapsed * 1000.0).round())),
+        ("chunks_done", Json::Num(chunks_done as f64)),
+        ("chunks_total", Json::Num(chunks_total as f64)),
+        ("rows_written", Json::Num(out.rows_written as f64)),
+        ("rows_per_s", Json::Num(rows_per_s)),
+        ("eta_s", eta_s),
+    ]);
+    let _ = std::fs::write(dir.join("heartbeat.json"), format!("{line}\n"));
 }
 
 /// Re-checks a recorded chunk's shard against its manifest record — the

@@ -207,6 +207,10 @@ mod chaos {
                                     fs::read(e.path()).unwrap(),
                                 )
                             })
+                            // heartbeat.json is wall-clock telemetry
+                            // (telemetry builds), explicitly outside the
+                            // byte-identity contract.
+                            .filter(|(name, _)| name != "heartbeat.json")
                             .collect()
                     })
                     .unwrap_or_default();

@@ -130,6 +130,7 @@ USAGE:
                                                  (competitive-ratio lab, JSON lines)
   pobp serve [--addr HOST:PORT] [--dir DIR] [--workers N] [--queue-cap N]
              [--engine-threads N] [--degrade] [--compact-every N]
+             [--metrics-addr HOST:PORT] [--sample-ms MS] [--flight-dir DIR]
                                                  (scheduling daemon, docs/serve.md)
 
 Any command also accepts --obs (print the JSON counter report to stderr) or
@@ -168,6 +169,12 @@ jobs over newline-delimited JSON on TCP, a bounded priority queue with
 structured rejections, per-job cancel, content-keyed result reuse, and a
 durable journal in --dir that survives kill -9 (acknowledged jobs and
 finished results are recovered on restart). Drive it with pobp-client.
+With `--features telemetry` the daemon also serves live telemetry
+(docs/observability.md): --metrics-addr exposes a Prometheus scrape
+endpoint, --sample-ms sets the windowed sampler period, and --flight-dir
+collects bounded flight-recorder dumps (Chrome trace JSON) on panics,
+cert failures, journal poisoning, or an explicit dump-flight op; watch it
+live with `pobp-client top`.
 
 online runs the online-arrival competitive-ratio lab (docs/online.md): jobs
 are revealed at release, commitments are irrevocable, and each job carries
@@ -794,6 +801,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map(|spec| FaultPlan::parse(&spec, chaos_seed))
             .transpose()?
     };
+    // Validate the telemetry flags strictly in every build, so a missing or
+    // trailing value is a loud error before the daemon binds anything; in
+    // non-telemetry builds their mere presence is the error.
+    let metrics_addr = flag_value(args, "--metrics-addr")?;
+    let sample_ms: u64 = parse_num_strict(args, "--sample-ms", 1000u64)?;
+    let flight_dir = flag_value(args, "--flight-dir")?;
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = sample_ms;
+        if metrics_addr.is_some() || flight_dir.is_some() || has_flag(args, "--sample-ms") {
+            return Err(
+                "--metrics-addr/--sample-ms/--flight-dir need a binary built with \
+                 --features telemetry"
+                    .into(),
+            );
+        }
+    }
     let cfg = pobp::serve::ServiceConfig {
         dir: dir.into(),
         workers: parse_num_strict(args, "--workers", 2usize)?.max(1),
@@ -803,6 +827,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         compact_every: parse_num_strict(args, "--compact-every", 256u64)?,
         #[cfg(feature = "chaos")]
         chaos: chaos_plan.map(std::sync::Arc::new),
+        #[cfg(feature = "telemetry")]
+        telemetry: pobp::serve::TelemetryOptions {
+            sample_ms,
+            flight_dir: flight_dir.map(std::path::PathBuf::from),
+            metrics_addr,
+            ..pobp::serve::TelemetryOptions::default()
+        },
     };
     pobp::serve::run_server(&addr, cfg).map_err(|e| format!("serve: {e}"))?;
     emit_trace_reports(args)

@@ -54,10 +54,33 @@ fn serve_flag_errors_are_loud_and_never_bind() {
     for (args, flag) in [
         (&["serve", "--queue-cap"][..], "--queue-cap"),
         (&["serve", "--compact-every", "soon", "--addr", "127.0.0.1:0"][..], "--compact-every"),
+        // Telemetry flags: a missing value or a non-numeric value must
+        // fail before any socket is bound, naming the flag.
+        (&["serve", "--metrics-addr"][..], "--metrics-addr"),
+        (&["serve", "--sample-ms", "fast", "--addr", "127.0.0.1:0"][..], "--sample-ms"),
+        (&["serve", "--flight-dir"][..], "--flight-dir"),
     ] {
         let (_, err, ok) = run(args);
         assert!(!ok, "{args:?} must fail");
         assert!(err.contains(flag), "error must name {flag}: {err}");
+    }
+}
+
+/// Default (telemetry-less) builds refuse the telemetry flags loudly
+/// instead of silently ignoring them; telemetry builds accept `--sample-ms`
+/// (the daemon-free path still errors on the address, proving the flag
+/// itself parsed).
+#[cfg(not(feature = "telemetry"))]
+#[test]
+fn telemetry_flags_require_the_telemetry_feature() {
+    for args in [
+        &["serve", "--metrics-addr", "127.0.0.1:0"][..],
+        &["serve", "--sample-ms", "500"][..],
+        &["serve", "--flight-dir", "flights"][..],
+    ] {
+        let (_, err, ok) = run(args);
+        assert!(!ok, "{args:?} must fail in a default build");
+        assert!(err.contains("--features telemetry"), "error must say how to enable: {err}");
     }
 }
 
