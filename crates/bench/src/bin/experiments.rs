@@ -20,8 +20,10 @@
 //! Three extra modes ride along:
 //!
 //! * `bench-snapshot` (selector, excluded from `all`) re-times the
-//!   benchmark grid (`reduction`, `lsa`, `tm`) single-threaded and writes
-//!   the schema-versioned median-wall-clock snapshot to `BENCH_e5.json`
+//!   benchmark grid (`reduction`, `lsa`, `tm`) single-threaded, plus the
+//!   `dense` small-n rows (thousands of tiny cells through a 4-thread
+//!   engine — the executor-overhead gauge), and writes the
+//!   schema-versioned median-wall-clock snapshot to `BENCH_e6.json`
 //!   (`--bench-out FILE` overrides);
 //! * `bench-compare --baseline A.json --candidate B.json` diffs two
 //!   snapshots cell by cell and exits nonzero when any cell regressed by
@@ -108,7 +110,7 @@ fn main() {
     if selectors.iter().any(|s| *s == "bench-snapshot") {
         let out = flag_value(&args, "--bench-out")
             .unwrap_or_else(|e| die(e))
-            .unwrap_or_else(|| "BENCH_e5.json".into());
+            .unwrap_or_else(|| "BENCH_e6.json".into());
         if let Err(e) = bench_snapshot(&out) {
             die(e);
         }
@@ -169,6 +171,33 @@ const BENCH_SCHEMA_VERSION: u32 = 2;
 /// Algorithms timed by `bench-snapshot`.
 const BENCH_ALGS: [&str; 3] = ["reduction", "lsa", "tm"];
 
+/// The dense-grid scheduler-overhead rows: per `(n, k)` cell, one engine
+/// batch of this many tiny tasks (distinct seeds) at [`DENSE_THREADS`]
+/// workers, with a contiguous run of [`DENSE_FLAKY`] always-panicking
+/// tasks retried under backoff. The solves are microseconds each, so the
+/// batch wall-clock is dominated by executor behaviour — claim path,
+/// report collection, retry requeueing — which is exactly what these rows
+/// gate.
+const DENSE_NS: [usize; 2] = [4, 6];
+/// Budgets crossed with [`DENSE_NS`] for the dense rows.
+const DENSE_KS: [u32; 2] = [1, 2];
+/// Tasks per dense cell (seeds `0..DENSE_CELL_TASKS`).
+const DENSE_CELL_TASKS: usize = 4000;
+/// Always-panicking tasks sprinkled through each dense cell. Each one is
+/// retried [`DENSE_RETRIES`] times with [`DENSE_BACKOFF_MS`] exponential
+/// backoff — an executor that sleeps the backoff out in the worker loses
+/// the slot for milliseconds per attempt; one that requeues with a
+/// not-before timestamp keeps draining the batch.
+const DENSE_FLAKY: usize = 16;
+/// Retry budget for the dense cells.
+const DENSE_RETRIES: u32 = 2;
+/// Base backoff (doubles per attempt) for the dense cells, in ms.
+const DENSE_BACKOFF_MS: u64 = 2;
+/// Worker threads for the dense rows (the standard rows stay at 1).
+const DENSE_THREADS: usize = 4;
+/// Timed repetitions per dense cell; the median is recorded.
+const DENSE_REPS: usize = 5;
+
 /// `bench-snapshot`: re-times the benchmark grid single-threaded (no cache,
 /// no degradation — pure solver wall-clock) and writes the median per grid
 /// cell to `path` as schema-versioned JSON. `reduction` and `lsa` run full
@@ -178,6 +207,17 @@ const BENCH_ALGS: [&str; 3] = ["reduction", "lsa", "tm"];
 /// snapshot robust to one-off scheduler noise; the snapshot is a coarse
 /// regression tripwire, not a Criterion replacement (those benches live in
 /// `crates/bench/benches/`).
+///
+/// A fourth `dense` row family times the *executor*, not the solvers: per
+/// `(n, k)` cell with tiny `n`, one [`DENSE_THREADS`]-worker engine batch of
+/// [`DENSE_CELL_TASKS`] microsecond-scale `K0` tasks, cache off, plus a
+/// contiguous run of [`DENSE_FLAKY`] always-panicking tasks retried with
+/// exponential backoff (a failing parameter region of a sweep, where
+/// retries are correlated). Those rows gate scheduler behaviour (claim
+/// path, stealing, report collection, and above all backoff handling: a
+/// pool that sleeps backoffs out in the worker stalls outright on the
+/// flaky region) — a regression there means batch dispatch got slower even
+/// if every solver is unchanged.
 fn bench_snapshot(path: &str) -> Result<(), String> {
     const NS: [usize; 3] = [20, 40, 80];
     const KS: [u32; 4] = [0, 1, 2, 4];
@@ -233,7 +273,62 @@ fn bench_snapshot(path: &str) -> Result<(), String> {
             }
         }
     }
-    let algs_json: Vec<String> = BENCH_ALGS.iter().map(|a| format!("\"{a}\"")).collect();
+    // Dense scheduler-overhead rows: thousands of tiny tasks per batch at
+    // DENSE_THREADS workers, so per-task executor overhead — not solver
+    // time — dominates the cell.
+    let dense_engine = Engine::new(EngineConfig {
+        threads: DENSE_THREADS,
+        use_cache: false,
+        degrade: false,
+        max_retries: DENSE_RETRIES,
+        backoff: std::time::Duration::from_millis(DENSE_BACKOFF_MS),
+        ..EngineConfig::default()
+    });
+    for &n in &DENSE_NS {
+        for &k in &DENSE_KS {
+            // `K0` is the cheapest certified solver path, so the cell is
+            // executor-bound. The flaky run is *contiguous* — modelling a
+            // failing parameter region of a sweep grid, where retries are
+            // correlated: an executor that sleeps backoffs out in the
+            // worker has every worker asleep at once when it hits the
+            // region, while a not-before requeue keeps draining the batch.
+            let mut tasks: Vec<SolveTask> = (0..DENSE_CELL_TASKS)
+                .map(|seed| SolveTask::new(small_workload(n, seed as u64).0, k, Algo::K0))
+                .collect();
+            for f in 0..DENSE_FLAKY {
+                let at = 64 + f;
+                let mut bad =
+                    SolveTask::new(tasks[at].instance.clone(), k, Algo::PanicForTest);
+                bad.label = format!("flaky@{at}");
+                tasks[at] = bad;
+            }
+            let mut runs_ns: Vec<u128> = (0..DENSE_REPS)
+                .map(|rep| {
+                    let t0 = std::time::Instant::now();
+                    let batch = dense_engine.run_batch(&tasks);
+                    let dt = t0.elapsed().as_nanos();
+                    assert_eq!(
+                        batch.stats.run + batch.stats.panicked,
+                        tasks.len(),
+                        "dense cell n={n} k={k} rep={rep} lost tasks"
+                    );
+                    assert_eq!(batch.stats.panicked, DENSE_FLAKY);
+                    dt
+                })
+                .collect();
+            runs_ns.sort_unstable();
+            let median_ns = runs_ns[runs_ns.len() / 2];
+            eprintln!(
+                "bench-snapshot: alg=dense n={n} k={k} ({DENSE_CELL_TASKS} tasks, \
+                 {DENSE_THREADS} threads) median {median_ns} ns"
+            );
+            cells.push(format!(
+                "    {{\"alg\": \"dense\", \"n\": {n}, \"k\": {k}, \"median_ns\": {median_ns}}}"
+            ));
+        }
+    }
+    let algs_json: Vec<String> =
+        BENCH_ALGS.iter().chain(std::iter::once(&"dense")).map(|a| format!("\"{a}\"")).collect();
     let json = format!(
         "{{\n  \"schema\": {BENCH_SCHEMA_VERSION},\n  \"experiment\": \"bench\",\n  \
          \"algs\": [{}],\n  \"threads\": 1,\n  \"seeds\": {SEEDS},\n  \"cells\": [\n{}\n  ]\n}}\n",

@@ -1,15 +1,21 @@
 //! Cooperative cancellation and wall-clock deadlines.
 //!
 //! Solvers in this workspace are monolithic pure functions — there is no
-//! safe way to interrupt one mid-run from another thread. Robustness against
-//! overruns is therefore *cooperative*: the engine's task wrapper checks a
-//! [`TaskCtx`] at every stage boundary (before the solve, between the
-//! reference and the bounded stage, between retry attempts), and a watchdog
-//! thread flips the [`CancelToken`] of any in-flight task whose deadline
-//! has passed so the wrapper gives up at the next check. A stage that is
-//! already running completes (and its result is then discarded as
+//! safe way to interrupt one mid-run from another thread. Robustness
+//! against overruns is therefore *cooperative*: the engine's task wrapper
+//! checks a [`TaskCtx`] at every stage-boundary yield point (before the
+//! solve, between the reference and the bounded stage, before a retry is
+//! requeued), and [`TaskCtx::should_stop`] compares the task's absolute
+//! deadline against the clock right there — deadline enforcement lives
+//! entirely at the yield points; no watchdog thread exists. A stage that
+//! is already running completes (and its result is then discarded as
 //! [`TimedOut`](crate::task::TaskResult::TimedOut)); the deadline bounds
 //! when a task can *start* new work, not the latency of a single stage.
+//!
+//! The [`CancelToken`] carries the *external* stop requests: the batch
+//! token (`cancel_all`, cancel-mode shutdown) and the per-task token (the
+//! chaos `cancel` site, targeted job cancellation in `pobp serve`). Both
+//! are observed at the same yield points.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -41,18 +47,19 @@ impl CancelToken {
 /// Why a stage-boundary check told the task wrapper to stop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {
-    /// The task's own deadline passed, or the watchdog cancelled its token
-    /// after observing the deadline pass.
+    /// The task's own deadline passed, or its per-task token was cancelled
+    /// (chaos `cancel` site, targeted job cancellation).
     DeadlineExceeded,
     /// The batch-level token was cancelled.
     BatchCancelled,
 }
 
-/// Per-task view of the cancellation state: the task's own token (flipped
-/// by the watchdog on deadline overrun), the batch token, and the deadline.
+/// Per-task view of the cancellation state: the task's own token, the
+/// batch token, and the absolute deadline checked at every yield point.
 #[derive(Clone, Debug)]
 pub struct TaskCtx {
-    /// Token the watchdog flips when this task overruns.
+    /// The task's own cancel token (chaos `cancel` site; targeted
+    /// cancellation).
     pub cancel: CancelToken,
     /// Batch-wide token (cancels every task).
     pub batch: CancelToken,
@@ -79,9 +86,9 @@ impl TaskCtx {
 
     /// Stage-boundary check: `Some(reason)` when the task must stop now.
     ///
-    /// The deadline is consulted directly in addition to the token, so an
-    /// overrun is detected at the first boundary after it happens even if
-    /// the watchdog has not woken yet.
+    /// The deadline is consulted directly — this check *is* the deadline
+    /// enforcement mechanism: an overrun is detected at the first yield
+    /// point after it happens, with no watchdog involved.
     pub fn should_stop(&self) -> Option<StopReason> {
         if self.batch.is_cancelled() {
             return Some(StopReason::BatchCancelled);

@@ -14,7 +14,7 @@
 //! |---|---|---|
 //! | `panic` | `pool.rs`, inside the attempt `catch_unwind` | panics on **every** attempt (exercises retry exhaustion) |
 //! | `flaky` | `pool.rs`, inside the attempt `catch_unwind` | panics on the **first** attempt only (exercises retry success) |
-//! | `delay` | `pool.rs`, attempt start | sleeps [`FaultPlan::delay`] (exercises the watchdog; wall-clock only) |
+//! | `delay` | `pool.rs`, attempt start | sleeps [`FaultPlan::delay`] (exercises deadline yield points; wall-clock only) |
 //! | `cancel` | `pool.rs`, before the first attempt | cancels the task's own token (surfaces as a deadline stop) |
 //! | `deadline` | `solve.rs`, reference→bounded stage boundary | forces [`StopReason::DeadlineExceeded`](crate::cancel::StopReason) |
 //! | `corrupt-ref` | `cache.rs`, reference-layer put | perturbs the stored reference value |

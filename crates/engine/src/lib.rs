@@ -1,20 +1,24 @@
 //! # pobp-engine — deterministic parallel batch solving
 //!
-//! A std-only work-queue + worker-pool engine (no external dependencies;
+//! A std-only work-stealing worker-pool engine (no external dependencies;
 //! `std::thread` + atomics + mutexes) that fans a batch of solver tasks
-//! across N workers and returns results **in deterministic input order**
-//! regardless of thread count or completion order. It is the harness layer
-//! under `pobp sweep` and the `experiments --threads N` binary; see
+//! across N workers — per-worker run queues fed by a chunked global
+//! injector, randomized-victim stealing when a queue drains — and returns
+//! results **in deterministic input order** regardless of thread count,
+//! steal order, or completion order. It is the harness layer under
+//! `pobp sweep` and the `experiments --threads N` binary; see
 //! `docs/engine.md` for the full contract.
 //!
 //! Robustness is first-class (`docs/robustness.md`):
 //!
 //! * every task runs under `catch_unwind`, so a panicking solver yields a
 //!   [`TaskResult::Panicked`] record instead of killing the sweep;
-//! * tasks carry an optional wall-clock deadline enforced by a watchdog
-//!   thread plus a cooperative [`cancel`] token checked at every stage
-//!   boundary of the task wrapper;
-//! * panicking attempts get bounded retry with exponential backoff, with
+//! * tasks carry an optional wall-clock deadline enforced cooperatively:
+//!   [`cancel`]'s stage-boundary yield points compare it against the clock
+//!   (no watchdog thread exists), so an overrun or a cancellation is
+//!   observed at the task's next boundary;
+//! * panicking attempts get bounded retry with exponential backoff as a
+//!   not-before requeue (the worker never sleeps out a backoff), with
 //!   attempt accounting in each [`TaskReport`];
 //! * a content-addressed [`cache`] shares the expensive unbounded-reference
 //!   side (`OPT_∞`) across every `k` of a grid and deduplicates identical
@@ -27,7 +31,7 @@
 //!   and report [`TaskResult::Degraded`] (still certified);
 //! * long-lived owners stop cleanly via [`Engine::shutdown`] — drain-then-
 //!   join or cancel-then-join, both of which refuse new batches and return
-//!   only once every worker and watchdog thread has joined — and share one
+//!   only once every worker thread has joined — and share one
 //!   content-addressed cache across many engines via
 //!   [`Engine::with_shared_cache`] (the `pobp serve` daemon's pattern);
 //! * with the `chaos` cargo feature, a seeded [`chaos::FaultPlan`] injects
@@ -38,8 +42,9 @@
 //!
 //! With the `obs` cargo feature the engine emits the `engine.*` counter
 //! families (tasks run/cached/panicked/timed-out/retried, certification
-//! verdicts, chaos injections, degradations, queue depth, per-worker busy
-//! time); see `docs/observability.md`.
+//! verdicts, chaos injections, degradations, injector/local queue depth,
+//! steal attempts and hits, per-worker busy time); see
+//! `docs/observability.md`.
 //!
 //! ## Quickstart
 //!
@@ -71,6 +76,7 @@ pub mod cancel;
 pub mod cert;
 #[cfg(feature = "chaos")]
 pub mod chaos;
+mod exec;
 pub mod grid;
 pub mod io;
 pub mod pool;

@@ -1,12 +1,22 @@
-//! The work-queue + worker-pool core: fan a batch of tasks across N
-//! threads, survive panics and overruns, return reports in input order.
+//! The worker-pool core: fan a batch of tasks across N threads, survive
+//! panics and overruns, return reports in input order.
 //!
-//! Workers claim tasks from a shared atomic cursor and write each report
-//! into its input slot, so the returned order — and, because every solver
+//! Scheduling is work-stealing (`crate::exec`): workers claim chunks of
+//! the input range from a global injector into per-worker run queues and
+//! steal from randomly chosen victims when their own queue drains. Each
+//! worker keeps the reports it produced and the pool merges them by input
+//! index after the join, so the returned order — and, because every solver
 //! is a pure function, the returned *content* — is independent of thread
-//! count and completion order. A watchdog thread cancels the token of any
-//! in-flight task whose wall-clock deadline has passed; the task wrapper
-//! notices at its next stage boundary (see [`crate::cancel`]).
+//! count, steal order, and completion order.
+//!
+//! Deadlines and cancellation are purely *cooperative*: there is no
+//! watchdog thread. [`TaskCtx::should_stop`] compares the task's absolute
+//! deadline against the clock at every stage-boundary yield point (see
+//! [`crate::cancel`]), so an overrun or a `cancel_all` is observed at the
+//! next boundary the task reaches. Retry backoff is a **not-before
+//! requeue**: a panicking attempt reschedules its task with a
+//! `backoff · 2^(r−1)` earliest-run timestamp and the worker moves on,
+//! instead of sleeping out the backoff on the thread.
 //!
 //! Two robustness layers sit between a solve and its report
 //! (`docs/robustness.md`):
@@ -20,7 +30,6 @@
 //!   chaos-free, and reports [`TaskResult::Degraded`] when that rescue
 //!   lands.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -33,6 +42,7 @@ use pobp_sched::SolveWorkspace;
 use crate::cache::{instance_hash, CachedResult, ResultCache};
 use crate::cancel::{CancelToken, StopReason, TaskCtx};
 use crate::cert;
+use crate::exec::{Fabric, StealRng, Unit};
 use crate::solve::{solve_task, SolveFailure};
 use crate::task::{Algo, DegradeCause, SolveTask, TaskReport, TaskResult};
 
@@ -43,15 +53,18 @@ use crate::task::{Algo, DegradeCause, SolveTask, TaskReport, TaskResult};
 pub struct EngineConfig {
     /// Worker threads; `0` means `std::thread::available_parallelism()`.
     pub threads: usize,
-    /// Per-task wall-clock deadline, measured from the task's start.
-    /// `None` disables the watchdog entirely. Note that deadline outcomes
+    /// Per-task wall-clock deadline, measured from the task's start and
+    /// enforced cooperatively: every stage-boundary yield point compares it
+    /// against the clock ([`TaskCtx::should_stop`]), so an overrun is
+    /// observed at the task's next boundary. Note that deadline outcomes
     /// depend on machine speed — see the determinism contract in
     /// `docs/engine.md`.
     pub deadline: Option<Duration>,
     /// Extra attempts after a panicking first attempt (`0` disables retry).
     pub max_retries: u32,
-    /// Base backoff slept before retry `r` (doubled per retry, capped at
-    /// 100 ms): `backoff · 2^(r−1)`.
+    /// Not-before delay ahead of retry `r` (doubled per retry, capped at
+    /// 100 ms): the task is requeued and becomes runnable again
+    /// `backoff · 2^(r−1)` later; the worker stays busy in the meantime.
     pub backoff: Duration,
     /// Whether the content-addressed result cache is consulted.
     pub use_cache: bool,
@@ -108,6 +121,13 @@ pub struct EngineStats {
     pub retried: usize,
     /// Reference-layer cache hits (subset of `run` tasks).
     pub ref_cache_hits: usize,
+    /// Steal probes made by idle workers (not a task count). Scheduling
+    /// telemetry: the value depends on thread interleaving and is outside
+    /// the determinism contract, like every `EngineStats` field.
+    pub steal_attempts: usize,
+    /// Steal probes that took work from a victim (subset of
+    /// `steal_attempts`).
+    pub steal_hits: usize,
 }
 
 /// What [`Engine::run_batch`] returns: per-task reports in input order
@@ -132,6 +152,8 @@ struct StatsCell {
     cancelled: AtomicUsize,
     retried: AtomicUsize,
     ref_cache_hits: AtomicUsize,
+    steal_attempts: AtomicUsize,
+    steal_hits: AtomicUsize,
 }
 
 impl StatsCell {
@@ -147,6 +169,8 @@ impl StatsCell {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
             ref_cache_hits: self.ref_cache_hits.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            steal_hits: self.steal_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -258,8 +282,8 @@ impl Engine {
     /// Stops the engine so its owner can exit cleanly: closes the engine to
     /// new batches (a `run_batch` call after shutdown returns every task as
     /// [`TaskResult::Cancelled`] without starting a pool) and blocks until
-    /// every in-flight batch has finished and joined its worker and
-    /// watchdog threads — shutdown never leaks a thread.
+    /// every in-flight batch has finished and joined its worker threads —
+    /// shutdown never leaks a thread.
     ///
     /// * `drain: true` — **drain-then-join**: in-flight batches run to
     ///   completion; their tasks finish with whatever result they earn.
@@ -335,26 +359,11 @@ impl Engine {
         }
         let progress = self.cfg.progress.then(|| Progress::new(n));
 
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<TaskReport>>> = Mutex::new(vec![None; n]);
-        let inflight: Mutex<HashMap<usize, (Instant, CancelToken)>> = Mutex::new(HashMap::new());
+        let fabric = Fabric::new(n, threads);
         let pool_done = AtomicBool::new(false);
+        let mut merged: Vec<Option<TaskReport>> = (0..n).map(|_| None).collect();
 
         std::thread::scope(|s| {
-            if self.cfg.deadline.is_some() {
-                s.spawn(|| {
-                    while !pool_done.load(Ordering::Acquire) {
-                        std::thread::sleep(Duration::from_millis(2));
-                        let now = Instant::now();
-                        for (at, token) in inflight.lock().unwrap().values() {
-                            if now >= *at && !token.is_cancelled() {
-                                obs_count!("engine.watchdog.cancels");
-                                token.cancel();
-                            }
-                        }
-                    }
-                });
-            }
             if let Some(p) = &progress {
                 s.spawn(|| {
                     while !pool_done.load(Ordering::Acquire) {
@@ -366,75 +375,110 @@ impl Engine {
                 });
             }
             let workers: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut busy = Duration::ZERO;
+                .map(|w| {
+                    let fabric = &fabric;
+                    let stats = &stats;
+                    let progress = &progress;
+                    s.spawn(move || {
                         // One scratch workspace per worker, reused across
                         // every task this worker claims: steady-state solves
                         // allocate only their outputs.
                         let mut ws = SolveWorkspace::new();
-                        let mut claimed = 0u64;
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
+                        let mut rng = StealRng::new(w);
+                        // Reports stay worker-local until the merge after
+                        // the join — no shared report lock on the hot path.
+                        let mut local: Vec<TaskReport> = Vec::new();
+                        let mut busy = Duration::ZERO;
+                        let mut dispatched = 0u64;
+                        // Per-task clock reads feed only telemetry; skip
+                        // them when nothing consumes the numbers.
+                        let timed = pobp_core::obs::enabled() || progress.is_some();
+                        while !fabric.is_done() {
+                            let (unit, steals) = fabric.next_unit(w, &mut rng);
+                            if steals.attempts > 0 {
+                                stats
+                                    .steal_attempts
+                                    .fetch_add(steals.attempts, Ordering::Relaxed);
+                                stats.steal_hits.fetch_add(steals.hits, Ordering::Relaxed);
                             }
-                            claimed += 1;
-                            if claimed > 1 {
+                            let Some(unit) = unit else {
+                                fabric.park();
+                                continue;
+                            };
+                            dispatched += 1;
+                            if dispatched > 1 {
                                 obs_count!("engine.ws.reuses");
                             }
-                            obs_event!("engine.queue.depth", (n - i - 1) as u64);
-                            let start = Instant::now();
+                            let start = timed.then(Instant::now);
+                            let index = unit.index;
                             let report = {
-                                let _task = trace::task_scope(i as u64, &tasks[i].label);
+                                let _task =
+                                    trace::task_scope(index as u64, &tasks[index].label);
                                 let report =
-                                    self.run_one(i, &tasks[i], &stats, &inflight, &mut ws);
-                                trace_event!("emit", text: report.result.status());
+                                    self.dispatch(w, unit, &tasks[index], stats, fabric, &mut ws);
+                                if let Some(r) = &report {
+                                    let _ = r; // only the trace feature reads it
+                                    trace_event!("emit", text: r.result.status());
+                                }
                                 report
                             };
-                            busy += start.elapsed();
-                            if let Some(p) = &progress {
-                                p.record(&report.result, start.elapsed());
+                            let elapsed = start.map(|t| t.elapsed()).unwrap_or_default();
+                            busy += elapsed;
+                            if let Some(report) = report {
+                                if let Some(p) = progress {
+                                    p.record(&report.result, elapsed);
+                                }
+                                local.push(report);
+                                fabric.complete_one();
                             }
-                            slots.lock().unwrap()[i] = Some(report);
                         }
                         obs_event!("engine.worker.busy_us", busy.as_micros() as u64);
                         obs_event!("engine.ws.scratch_bytes", ws.scratch_bytes() as u64);
+                        local
                     })
                 })
                 .collect();
-            // Join the workers before stopping the watchdog/progress
-            // threads: a worker panic here (outside the per-task
-            // catch_unwind) is an engine bug.
+            // Join the workers before stopping the progress thread: a
+            // worker panic here (outside the per-task catch_unwind) is an
+            // engine bug.
             for w in workers {
-                w.join().expect("engine worker panicked outside the task wrapper");
+                let local =
+                    w.join().expect("engine worker panicked outside the task wrapper");
+                for report in local {
+                    let slot = report.index;
+                    merged[slot] = Some(report);
+                }
             }
             pool_done.store(true, Ordering::Release);
         });
 
-        let reports: Vec<TaskReport> = slots
-            .into_inner()
-            .unwrap()
+        let reports: Vec<TaskReport> = merged
             .into_iter()
-            .map(|r| r.expect("every claimed task writes its slot"))
+            .map(|r| r.expect("every claimed task reports exactly once"))
             .collect();
         BatchReport { reports, stats: stats.snapshot(n) }
     }
 
-    /// Runs a single claimed task: cache check (hits are re-certified),
-    /// attempt loop under `catch_unwind`, retry with backoff, the
-    /// degradation ladder, terminal accounting.
-    fn run_one(
+    /// Runs one dispatched attempt of a unit: the cache check on the first
+    /// dispatch (hits are re-certified), a single attempt under
+    /// `catch_unwind`, the degradation ladder, terminal accounting. Returns
+    /// `None` when the attempt panicked with retry budget left — the unit
+    /// has then been requeued with a not-before timestamp and some worker
+    /// will dispatch it again once the backoff passes.
+    fn dispatch(
         &self,
-        index: usize,
+        worker: usize,
+        mut unit: Unit,
         task: &SolveTask,
         stats: &StatsCell,
-        inflight: &Mutex<HashMap<usize, (Instant, CancelToken)>>,
+        fabric: &Fabric,
         ws: &mut SolveWorkspace,
-    ) -> TaskReport {
+    ) -> Option<TaskReport> {
+        let index = unit.index;
         let cache = self.cfg.use_cache.then_some(&*self.cache);
-        let inst = instance_hash(&task.instance);
-        if let Some(c) = cache {
+        let inst = cache.map(|_| instance_hash(&task.instance));
+        if let Some(c) = cache.filter(|_| unit.attempts == 0) {
+            let inst = inst.expect("hash computed when the cache is on");
             // Timing-class: whether a result-layer probe hits depends on
             // scheduling order, so none of this appears in the logical trace.
             if let Some(hit) = obs_span!(timing "cache.probe", {
@@ -464,139 +508,152 @@ impl Engine {
                         failure.into()
                     }
                 };
-                return TaskReport { index, label: task.label.clone(), attempts: 0, result };
+                return Some(TaskReport {
+                    index,
+                    label: task.label.clone(),
+                    attempts: 0,
+                    result,
+                });
             }
         }
 
-        let token = CancelToken::new();
-        #[cfg(feature = "chaos")]
-        let chaos = self.chaos.as_ref().map(|plan| crate::chaos::TaskChaos {
-            plan: plan.clone(),
-            key: crate::chaos::task_key(task),
-        });
-        #[cfg(feature = "chaos")]
-        if let Some(ch) = &chaos {
-            // The `cancel` site: spuriously cancel the task's own token
-            // before it starts; the wrapper notices at its first boundary.
-            if ch.plan.fires(crate::chaos::FaultSite::SpuriousCancel, ch.key) {
-                obs_count!("engine.chaos.cancel");
-                trace_event!("chaos.cancel");
-                token.cancel();
-            }
-        }
-        let deadline_at = self.cfg.deadline.map(|d| Instant::now() + d);
-        let ctx = TaskCtx {
-            cancel: token.clone(),
-            batch: self.batch.clone(),
-            deadline: deadline_at,
+        if unit.attempts == 0 {
+            // First dispatch after a cache miss: create the task's cancel
+            // token, chaos handle, and absolute deadline. All three live in
+            // the unit from here on, so they survive a retry requeue — a
+            // task's deadline keeps running while it waits out a backoff,
+            // exactly as it did when the backoff was an in-worker sleep.
+            unit.token = Some(CancelToken::new());
             #[cfg(feature = "chaos")]
-            chaos,
-        };
-        if let Some(at) = deadline_at {
-            inflight.lock().unwrap().insert(index, (at, token));
+            {
+                unit.chaos = self.chaos.as_ref().map(|plan| crate::chaos::TaskChaos {
+                    plan: plan.clone(),
+                    key: crate::chaos::task_key(task),
+                });
+                if let Some(ch) = &unit.chaos {
+                    // The `cancel` site: spuriously cancel the task's own
+                    // token before it starts; the wrapper notices at its
+                    // first boundary.
+                    if ch.plan.fires(crate::chaos::FaultSite::SpuriousCancel, ch.key) {
+                        obs_count!("engine.chaos.cancel");
+                        trace_event!("chaos.cancel");
+                        unit.token.as_ref().expect("token just created").cancel();
+                    }
+                }
+            }
+            unit.deadline_at = self.cfg.deadline.map(|d| Instant::now() + d);
         }
+        let ctx = TaskCtx {
+            cancel: unit.token.clone().expect("token initialised at first dispatch"),
+            batch: self.batch.clone(),
+            deadline: unit.deadline_at,
+            #[cfg(feature = "chaos")]
+            chaos: unit.chaos.clone(),
+        };
+        unit.attempts += 1;
+        let attempts = unit.attempts;
 
-        let mut attempts = 0u32;
-        let result = loop {
-            attempts += 1;
-            // The attempt span lives inside the catch_unwind so its end
-            // event fires during unwinding — panicking attempts still close.
-            // The workspace is safe to reuse after an unwind: every `*_ws`
-            // entry point resets its buffers at entry.
-            let attempt = |ws: &mut SolveWorkspace| {
-                obs_span!("attempt", {
-                    #[cfg(feature = "chaos")]
-                    if let Some(ch) = &ctx.chaos {
-                        // The `delay` site: stall the attempt (wall-clock
-                        // only — outputs are unaffected, but an armed real
-                        // deadline may now fire, which is the point).
-                        if ch.plan.fires(crate::chaos::FaultSite::Delay, ch.key) {
-                            obs_count!("engine.chaos.delay");
-                            trace_event!("chaos.delay");
-                            std::thread::sleep(ch.plan.delay());
-                        }
-                        // The `panic`/`flaky` sites, inside catch_unwind.
-                        ch.plan.inject_panic(ch.key, attempts);
+        // The attempt span lives inside the catch_unwind so its end
+        // event fires during unwinding — panicking attempts still close.
+        // The workspace is safe to reuse after an unwind: every `*_ws`
+        // entry point resets its buffers at entry.
+        let attempt = |ws: &mut SolveWorkspace| {
+            obs_span!("attempt", {
+                #[cfg(feature = "chaos")]
+                if let Some(ch) = &ctx.chaos {
+                    // The `delay` site: stall the attempt (wall-clock
+                    // only — outputs are unaffected, but an armed real
+                    // deadline may now fire, which is the point).
+                    if ch.plan.fires(crate::chaos::FaultSite::Delay, ch.key) {
+                        obs_count!("engine.chaos.delay");
+                        trace_event!("chaos.delay");
+                        std::thread::sleep(ch.plan.delay());
                     }
-                    solve_task(task, &ctx, cache, ws)
-                })
-            };
-            match catch_unwind(AssertUnwindSafe(|| attempt(&mut *ws))) {
-                Ok(Ok(solved)) => {
-                    obs_count!("engine.tasks.run");
-                    obs_count!("engine.cert.ok");
-                    stats.run.fetch_add(1, Ordering::Relaxed);
-                    if solved.ref_hit {
-                        stats.ref_cache_hits.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if let Some(c) = cache {
-                        c.put_result(
-                            inst,
-                            task.k,
-                            task.machines,
-                            task.algo,
-                            task.exact_ref,
-                            CachedResult {
-                                output: solved.output.clone(),
-                                schedule: solved.schedule.clone(),
-                                eff_k: solved.eff_k,
-                            },
-                        );
-                    }
-                    break TaskResult::Done(solved.output);
+                    // The `panic`/`flaky` sites, inside catch_unwind.
+                    ch.plan.inject_panic(ch.key, attempts);
                 }
-                Ok(Err(SolveFailure::Cert(failure))) => {
-                    obs_count!("engine.cert.failed");
-                    trace_event!("cert.failed", text: failure.stage.name());
-                    stats.cert_failed.fetch_add(1, Ordering::Relaxed);
-                    break failure.into();
+                solve_task(task, &ctx, cache, ws)
+            })
+        };
+        let result = match catch_unwind(AssertUnwindSafe(|| attempt(&mut *ws))) {
+            Ok(Ok(solved)) => {
+                obs_count!("engine.tasks.run");
+                obs_count!("engine.cert.ok");
+                stats.run.fetch_add(1, Ordering::Relaxed);
+                if solved.ref_hit {
+                    stats.ref_cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                Ok(Err(SolveFailure::Stopped(StopReason::DeadlineExceeded))) => {
-                    trace_event!("stop.deadline");
-                    if let Some(rescued) =
-                        self.try_degrade(task, DegradeCause::DeadlineExceeded, stats, ws)
-                    {
-                        break rescued;
-                    }
-                    obs_count!("engine.tasks.timed_out");
-                    stats.timed_out.fetch_add(1, Ordering::Relaxed);
-                    break TaskResult::TimedOut;
+                if let Some(c) = cache {
+                    c.put_result(
+                        inst.expect("hash computed when the cache is on"),
+                        task.k,
+                        task.machines,
+                        task.algo,
+                        task.exact_ref,
+                        CachedResult {
+                            output: solved.output.clone(),
+                            schedule: solved.schedule.clone(),
+                            eff_k: solved.eff_k,
+                        },
+                    );
                 }
-                Ok(Err(SolveFailure::Stopped(StopReason::BatchCancelled))) => {
-                    trace_event!("stop.cancelled");
-                    obs_count!("engine.tasks.cancelled");
-                    stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                    break TaskResult::Cancelled;
+                TaskResult::Done(solved.output)
+            }
+            Ok(Err(SolveFailure::Cert(failure))) => {
+                obs_count!("engine.cert.failed");
+                trace_event!("cert.failed", text: failure.stage.name());
+                stats.cert_failed.fetch_add(1, Ordering::Relaxed);
+                failure.into()
+            }
+            Ok(Err(SolveFailure::Stopped(StopReason::DeadlineExceeded))) => {
+                trace_event!("stop.deadline");
+                match self.try_degrade(task, DegradeCause::DeadlineExceeded, stats, ws) {
+                    Some(rescued) => rescued,
+                    None => {
+                        obs_count!("engine.tasks.timed_out");
+                        stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                        TaskResult::TimedOut
+                    }
                 }
-                Err(payload) => {
-                    if attempts <= self.cfg.max_retries && ctx.should_stop().is_none() {
-                        obs_count!("engine.tasks.retried");
-                        trace_event!("retry", attempts);
-                        stats.retried.fetch_add(1, Ordering::Relaxed);
-                        let exp = attempts.saturating_sub(1).min(16);
-                        let pause = self
-                            .cfg
-                            .backoff
-                            .saturating_mul(1u32 << exp)
-                            .min(Duration::from_millis(100));
-                        obs_span!(timing "retry.backoff", std::thread::sleep(pause));
-                        continue;
+            }
+            Ok(Err(SolveFailure::Stopped(StopReason::BatchCancelled))) => {
+                trace_event!("stop.cancelled");
+                obs_count!("engine.tasks.cancelled");
+                stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                TaskResult::Cancelled
+            }
+            Err(payload) => {
+                if attempts <= self.cfg.max_retries && ctx.should_stop().is_none() {
+                    // Not-before requeue instead of an in-worker sleep: the
+                    // unit becomes runnable again after the backoff and the
+                    // worker moves on to other tasks immediately.
+                    obs_count!("engine.tasks.retried");
+                    trace_event!("retry", attempts);
+                    stats.retried.fetch_add(1, Ordering::Relaxed);
+                    let exp = attempts.saturating_sub(1).min(16);
+                    let pause = self
+                        .cfg
+                        .backoff
+                        .saturating_mul(1u32 << exp)
+                        .min(Duration::from_millis(100));
+                    if pause.is_zero() {
+                        fabric.push_slot(worker, unit);
+                    } else {
+                        fabric.push_delayed(Instant::now() + pause, unit);
                     }
-                    if let Some(rescued) =
-                        self.try_degrade(task, DegradeCause::RetriesExhausted, stats, ws)
-                    {
-                        break rescued;
+                    return None;
+                }
+                match self.try_degrade(task, DegradeCause::RetriesExhausted, stats, ws) {
+                    Some(rescued) => rescued,
+                    None => {
+                        obs_count!("engine.tasks.panicked");
+                        stats.panicked.fetch_add(1, Ordering::Relaxed);
+                        TaskResult::Panicked { message: panic_message(&*payload) }
                     }
-                    obs_count!("engine.tasks.panicked");
-                    stats.panicked.fetch_add(1, Ordering::Relaxed);
-                    break TaskResult::Panicked { message: panic_message(&*payload) };
                 }
             }
         };
-        if deadline_at.is_some() {
-            inflight.lock().unwrap().remove(&index);
-        }
-        TaskReport { index, label: task.label.clone(), attempts, result }
+        Some(TaskReport { index, label: task.label.clone(), attempts, result })
     }
 
     /// The graceful-degradation ladder: rerun the task with the polynomial

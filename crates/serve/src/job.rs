@@ -52,9 +52,10 @@ pub struct JobSpec {
     pub family: Option<ZooFamily>,
     /// Admission priority: higher runs first; ties break FIFO by job id.
     pub priority: i64,
-    /// Optional per-job wall-clock solve deadline, enforced by the engine
-    /// watchdog (with the daemon's `--degrade`, an overrun degrades to the
-    /// polynomial fallback instead of failing).
+    /// Optional per-job wall-clock solve deadline, enforced cooperatively
+    /// at the engine's stage-boundary yield points (with the daemon's
+    /// `--degrade`, an overrun degrades to the polynomial fallback instead
+    /// of failing).
     pub deadline_ms: Option<u64>,
 }
 

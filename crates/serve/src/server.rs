@@ -6,11 +6,15 @@
 //! (`serve: listening on ADDR`, then a recovery summary) so scripts can
 //! scrape the bound address — bind to port `0` to let the OS pick.
 //!
-//! Shutdown: a `shutdown` op flips the stop flag, and the handling
-//! connection pokes the listener with an empty connection so the blocking
-//! `accept` wakes up and observes the flag. The accept loop then stops the
-//! service ([`Service::stop`]) — which joins the workers and writes a final
-//! snapshot — and returns.
+//! Shutdown: a `shutdown` op is acknowledged immediately, then the handling
+//! connection runs [`Service::stop`] to completion — workers joined, final
+//! snapshot written — while the daemon keeps answering pings and stats
+//! queries. Only then does it flip the stop flag and poke the listener with
+//! an empty connection so the blocking `accept` wakes up, observes the
+//! flag, and returns. Ordering contract: once the port goes dark, the
+//! registry directory is final — external readers (the soak's
+//! replay-identity check, scripted backups) may replay it without racing a
+//! compaction.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -112,6 +116,12 @@ fn handle_conn(
         writer.write_all(b"\n")?;
         writer.flush()?;
         if let Control::Shutdown { drain } = control {
+            // Stop the service from this connection thread *before* waking
+            // the accept loop: the daemon stays reachable while it drains,
+            // and goes dark only after the final snapshot is durable — so
+            // "the port stopped answering" is a safe signal to read the
+            // registry directory.
+            service.stop(drain);
             stop.drain.store(drain, Ordering::Release);
             stop.stop.store(true, Ordering::Release);
             // Wake the blocking accept so it observes the flag.

@@ -164,6 +164,11 @@ pub struct ServeCounters {
     pub cancelled: u64,
     /// Jobs re-queued by crash recovery.
     pub requeued: u64,
+    /// Victim probes made by the engines' work-stealing workers, summed
+    /// over finished jobs (scheduling telemetry; never affects results).
+    pub engine_steal_attempts: u64,
+    /// Steal probes that landed work, summed over finished jobs.
+    pub engine_steal_hits: u64,
 }
 
 /// Priority-queue entry: max-heap on `(priority, −id)` — higher priority
@@ -235,6 +240,12 @@ struct Inner {
 pub struct Service {
     inner: Arc<Inner>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serialises [`Service::stop`]: the first caller runs the full
+    /// drain-join-snapshot sequence, later callers block until it is done
+    /// and then return. The final compaction must run exactly once —
+    /// a second rewrite could race an external reader (the soak replays
+    /// the registry directory as soon as the daemon goes quiet).
+    stop_once: std::sync::Once,
 }
 
 impl Service {
@@ -326,7 +337,7 @@ impl Service {
                     .expect("spawn sampler"),
             );
         }
-        Ok(Service { inner, workers: Mutex::new(workers) })
+        Ok(Service { inner, workers: Mutex::new(workers), stop_once: std::sync::Once::new() })
     }
 
     /// What recovery found when this daemon started.
@@ -479,6 +490,8 @@ impl Service {
             ("degraded", Json::Num(c.degraded as f64)),
             ("failed", Json::Num(c.failed as f64)),
             ("cancelled", Json::Num(c.cancelled as f64)),
+            ("engine_steal_attempts", Json::Num(c.engine_steal_attempts as f64)),
+            ("engine_steal_hits", Json::Num(c.engine_steal_hits as f64)),
             ("journal_seq", Json::Num(state.journal.seq() as f64)),
             ("compactions", Json::Num(state.journal.compactions() as f64)),
             ("recovery", recovery_json(&state.recovery)),
@@ -611,6 +624,18 @@ impl Service {
         for (alg, n) in self.inner.telemetry.per_alg_done.lock().unwrap().iter() {
             p.sample("pobp_serve_jobs_done_by_alg_total", &[("alg", alg)], *n as f64);
         }
+        p.header(
+            "pobp_serve_engine_steal_attempts_total",
+            "counter",
+            "Work-steal victim probes made by job engines (scheduling telemetry).",
+        )
+        .sample("pobp_serve_engine_steal_attempts_total", &[], counter("engine_steal_attempts"));
+        p.header(
+            "pobp_serve_engine_steal_hits_total",
+            "counter",
+            "Work-steal probes that landed work in job engines.",
+        )
+        .sample("pobp_serve_engine_steal_hits_total", &[], counter("engine_steal_hits"));
         p.header("pobp_serve_queue_depth", "gauge", "Jobs currently queued.")
             .sample("pobp_serve_queue_depth", &[], gauge("queued"));
         p.header("pobp_serve_queue_cap", "gauge", "Admission bound on queued jobs.")
@@ -700,29 +725,35 @@ impl Service {
 
     /// Stops the daemon. `drain: true` finishes every queued job first;
     /// `drain: false` cancels running engines and leaves the rest of the
-    /// queue journalled as queued (a restart re-runs it). Idempotent; joins
-    /// the worker pool and writes a final snapshot.
+    /// queue journalled as queued (a restart re-runs it). Joins the worker
+    /// pool and writes a final snapshot. Idempotent and blocking: the first
+    /// caller's `drain` wins, concurrent callers wait until the sequence
+    /// has finished, and by the time any `stop` returns the final snapshot
+    /// is on disk and the journal will not be touched again.
     pub fn stop(&self, drain: bool) {
-        self.inner.drain.store(drain, Ordering::Release);
-        self.inner.stopping.store(true, Ordering::Release);
-        if !drain {
-            // Non-blocking cancel signal; the workers observe it at the next
-            // task boundary and journal the cancelled outcome themselves.
-            let state = self.inner.state.lock().unwrap();
-            for engine in state.running.values() {
-                engine.cancel_all();
+        self.stop_once.call_once(|| {
+            self.inner.drain.store(drain, Ordering::Release);
+            self.inner.stopping.store(true, Ordering::Release);
+            if !drain {
+                // Non-blocking cancel signal; the workers observe it at the
+                // next task boundary and journal the cancelled outcome
+                // themselves.
+                let state = self.inner.state.lock().unwrap();
+                for engine in state.running.values() {
+                    engine.cancel_all();
+                }
             }
-        }
-        self.inner.work_ready.notify_all();
-        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
-        }
-        let mut state = self.inner.state.lock().unwrap();
-        let State { registry, journal, .. } = &mut *state;
-        if let Err(e) = journal.compact(registry) {
-            eprintln!("serve: final snapshot failed: {e}");
-        }
+            self.inner.work_ready.notify_all();
+            let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+            for h in handles {
+                let _ = h.join();
+            }
+            let mut state = self.inner.state.lock().unwrap();
+            let State { registry, journal, .. } = &mut *state;
+            if let Err(e) = journal.compact(registry) {
+                eprintln!("serve: final snapshot failed: {e}");
+            }
+        });
     }
 }
 
@@ -750,6 +781,8 @@ fn capture_sample(inner: &Inner) -> Sample {
         .counter("failed", c.failed)
         .counter("cancelled", c.cancelled)
         .counter("requeued", c.requeued)
+        .counter("engine_steal_attempts", c.engine_steal_attempts)
+        .counter("engine_steal_hits", c.engine_steal_hits)
         .counter("finished", finished)
         .counter("journal_appends", state.journal.seq())
         .gauge("queued", state.queued as f64)
@@ -876,6 +909,7 @@ fn worker_loop(inner: &Inner) {
         #[cfg(feature = "telemetry")]
         let job_started = Instant::now();
         let report = obs_span!("serve.job", engine.run_batch(std::slice::from_ref(&task)));
+        let engine_stats = report.stats;
         let task_report = report.reports.into_iter().next().expect("batch of one");
         #[cfg(feature = "telemetry")]
         {
@@ -891,6 +925,8 @@ fn worker_loop(inner: &Inner) {
         let result = task_result_json(&task_report);
         let mut state = inner.state.lock().unwrap();
         state.running.remove(&id);
+        state.counters.engine_steal_attempts += engine_stats.steal_attempts as u64;
+        state.counters.engine_steal_hits += engine_stats.steal_hits as u64;
         let finish = Event::Finish { id, result };
         if let Err(e) = state.journal.append(&finish) {
             eprintln!("serve: journal append failed on finish({id}): {e}");

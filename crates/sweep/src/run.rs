@@ -351,4 +351,6 @@ fn add_stats(acc: &mut EngineStats, s: &EngineStats) {
     acc.cancelled += s.cancelled;
     acc.retried += s.retried;
     acc.ref_cache_hits += s.ref_cache_hits;
+    acc.steal_attempts += s.steal_attempts;
+    acc.steal_hits += s.steal_hits;
 }

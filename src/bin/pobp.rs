@@ -551,7 +551,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let s = batch.stats;
     eprintln!(
         "sweep: {} tasks ({} run, {} cached, {} degraded, {} cert-failed, {} panicked, \
-         {} timed out, {} cancelled, {} retries, {} ref-cache hits) on {} threads",
+         {} timed out, {} cancelled, {} retries, {} ref-cache hits, \
+         {} steals/{} probes) on {} threads",
         s.tasks,
         s.run,
         s.cached,
@@ -562,6 +563,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         s.cancelled,
         s.retried,
         s.ref_cache_hits,
+        s.steal_hits,
+        s.steal_attempts,
         if threads == 0 { "auto".to_string() } else { threads.to_string() },
     );
     emit_trace_reports(args)?;
